@@ -1,0 +1,97 @@
+"""Real wall-clock benchmarks of the full reconstruction (fit_)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.efit.fitting import EfitSolver
+from repro.profiling.regions import RegionProfiler
+
+from benchmarks.conftest import write_artifact
+
+
+@pytest.fixture(scope="module")
+def solver65(shot65):
+    return EfitSolver(shot65.machine, shot65.diagnostics, shot65.grid)
+
+
+def test_full_fit_65(benchmark, solver65, shot65):
+    """End-to-end reconstruction of one time slice at 65x65."""
+    result = benchmark(solver65.fit, shot65.measurements)
+    assert result.converged
+    benchmark.extra_info["iterations"] = result.iterations
+
+
+def test_single_fit_invocation_65(benchmark, shot65):
+    """One Picard iterate (the paper's per-invocation unit of Table 1)."""
+    profiler = RegionProfiler()
+    solver = EfitSolver(
+        shot65.machine, shot65.diagnostics, shot65.grid, profiler=profiler, max_iters=1
+    )
+
+    def one_iteration():
+        return solver.fit(shot65.measurements, require_convergence=False)
+
+    benchmark(one_iteration)
+
+
+def test_fit_region_breakdown_65(solver65, shot65):
+    """Measured Python-side fit_ breakdown (the real-execution analog of
+    Figure 1; with the BLAS pflux_ the profile differs from Fortran —
+    recorded for EXPERIMENTS.md)."""
+    profiler = RegionProfiler()
+    solver = EfitSolver(shot65.machine, shot65.diagnostics, shot65.grid, profiler=profiler)
+    solver.fit(shot65.measurements)
+    rep = profiler.report()
+    lines = ["Measured Python fit_ breakdown at 65x65 (vectorized pflux_):"]
+    for name, pct in sorted(rep.percentages().items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {name:10s} {pct:5.1f}%  ({rep.calls[name]} calls)")
+    write_artifact("fit_breakdown_python", "\n".join(lines))
+
+
+def test_fit_with_reference_pflux_17(benchmark):
+    """fit_ with the pure-loop pflux_ — the 'original code' analog; tiny
+    grid because interpreted loops are ~1000x slower."""
+    from repro.efit.measurements import synthetic_shot_186610
+
+    shot = synthetic_shot_186610(17, noise=0.0, seed=2)
+    solver = EfitSolver(
+        shot.machine, shot.diagnostics, shot.grid, pflux_impl="reference", max_iters=1
+    )
+    benchmark(solver.fit, shot.measurements, require_convergence=False)
+
+
+def test_scheduler_throughput(benchmark):
+    """Dispatch cost of the time-slice task farm (pure scheduling)."""
+    from repro.core.timeslices import schedule_slices, synthetic_slice_counts
+
+    slices = synthetic_slice_counts(1000)
+    result = benchmark(schedule_slices, slices, 64, 1e-3)
+    assert result.utilisation > 0.9
+
+
+def test_qprofile_tracing_65(benchmark, shot65):
+    """Flux-surface tracing + q computation on a reconstructed slice."""
+    from repro.efit.qprofile import QProfile
+
+    tr = shot65.truth
+    f_vac = shot65.machine.f_vacuum
+    prof = benchmark(
+        QProfile.compute, shot65.grid, tr.psi, tr.boundary, lambda s: f_vac
+    )
+    assert prof.q95 > 1.0
+
+
+def test_cyclic_reduction_solver_65(benchmark):
+    """The Buneman solver beside the DST/LU timings in bench_solvers."""
+    import numpy as np
+
+    from repro.efit.grid import RZGrid
+    from repro.efit.solvers.cyclic import CyclicReductionSolver
+
+    g = RZGrid(65, 65)
+    solver = CyclicReductionSolver(g)
+    rng = np.random.default_rng(3)
+    rhs = rng.normal(size=g.shape)
+    bdry = rng.normal(size=g.shape)
+    benchmark(solver.solve, rhs, bdry)

@@ -1,0 +1,85 @@
+"""Regenerate every *figure* of the paper's evaluation (Figures 1, 4-7).
+
+(Figures 2 and 3 are code listings — reproduced by the directive objects
+themselves; see ``bench_listings`` below, which renders them too.)
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_artifact
+from repro.core.offload import build_pflux_registry
+from repro.core.report import (
+    fig1_report,
+    fig4_report,
+    fig5_report,
+    fig6_report,
+    fig7_report,
+)
+
+
+def test_fig1_cpu_breakdown(benchmark, study):
+    table = benchmark(lambda: fig1_report(study))
+    write_artifact("fig1", table.render())
+
+
+def test_fig4_system_alloc(benchmark):
+    table = benchmark(fig4_report)
+    write_artifact("fig4", table.render())
+
+
+def test_fig5_data_movement(benchmark, study):
+    table = benchmark(lambda: fig5_report(study))
+    write_artifact("fig5", table.render())
+
+
+def test_fig6_gpu_breakdown(benchmark, study):
+    table = benchmark(lambda: fig6_report(study))
+    write_artifact("fig6", table.render())
+
+
+def test_fig7_speedup_summary(benchmark, study):
+    table = benchmark(lambda: fig7_report(study))
+    write_artifact("fig7", table.render())
+
+
+def test_fig2_fig3_listings(benchmark):
+    """Figures 2/3: the directive annotations of the O(N^3) kernel, as
+    rendered by our pragma objects."""
+
+    def render():
+        reg = build_pflux_registry(513)
+        k = reg.get("boundary_lr")
+        lines = ["Figure 2 - OpenACC annotation of the O(N^3) boundary loop:"]
+        lines += ["  " + d.to_pragma() for d in k.acc_directives]
+        lines += ["Figure 3 - OpenMP annotation of the same loop:"]
+        lines += ["  " + d.to_pragma() for d in k.omp_directives]
+        return "\n".join(lines)
+
+    write_artifact("fig2_fig3", benchmark(render))
+
+
+def test_roofline_placement(benchmark, study):
+    """Related-work methodology (Mehta et al.): roofline placement of
+    every offloaded kernel on each device."""
+    from repro.core.report import roofline_report
+
+    def render():
+        parts = []
+        for site, model in (
+            ("perlmutter", "openmp"),
+            ("frontier", "openmp"),
+            ("frontier", "openacc"),
+            ("sunspot", "openmp"),
+        ):
+            parts.append(roofline_report(study, site, model).render())
+        return "\n\n".join(parts)
+
+    write_artifact("roofline", benchmark(render))
+
+
+def test_extension_full_offload(benchmark, study):
+    """The paper's future work projected with the same cost model."""
+    from repro.core.report import extension_report
+
+    table = benchmark(lambda: extension_report(study))
+    write_artifact("extension_full_offload", table.render())

@@ -1,0 +1,43 @@
+"""Regenerate every *table* of the paper's evaluation (Tables 1-7).
+
+Each benchmark times the full sweep that produces its table (the modeled
+study is deterministic and cheap), prints the rendered model-vs-paper
+table, and writes it under ``results/``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_artifact
+from repro.core.report import (
+    table1_report,
+    table2_report,
+    table4_5_report,
+    table6_report,
+    table7_report,
+)
+
+
+def test_table1_cpu_fit_times(benchmark, study):
+    table = benchmark(lambda: table1_report(study))
+    write_artifact("table1", table.render())
+
+
+def test_table2_cpu_pflux_times(benchmark, study):
+    table = benchmark(lambda: table2_report(study))
+    write_artifact("table2", table.render())
+
+
+def test_table4_table5_directive_census(benchmark):
+    t4, t5 = benchmark(table4_5_report)
+    write_artifact("table4", t4.render())
+    write_artifact("table5", t5.render())
+
+
+def test_table6_openacc(benchmark, study):
+    table = benchmark(lambda: table6_report(study))
+    write_artifact("table6", table.render())
+
+
+def test_table7_openmp(benchmark, study):
+    table = benchmark(lambda: table7_report(study))
+    write_artifact("table7", table.render())

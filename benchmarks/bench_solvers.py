@@ -1,0 +1,39 @@
+"""Real wall-clock benchmarks of the interior Grad-Shafranov solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.efit.grid import RZGrid
+from repro.efit.solvers import make_solver
+
+
+@pytest.fixture(scope="module", params=[65, 129])
+def problem(request):
+    n = request.param
+    g = RZGrid(n, n)
+    rng = np.random.default_rng(2)
+    return g, rng.normal(size=g.shape), rng.normal(size=g.shape)
+
+
+@pytest.fixture(scope="module", params=["direct", "dst", "cg"])
+def solver_name(request):
+    return request.param
+
+
+def test_interior_solve(benchmark, problem, solver_name):
+    g, rhs, bdry = problem
+    solver = make_solver(solver_name, g)  # factorisation amortised
+    benchmark(solver.solve, rhs, bdry)
+    benchmark.extra_info["grid"] = f"{g.nw}x{g.nh}"
+
+
+def test_factorisation_direct_129(benchmark):
+    g = RZGrid(129, 129)
+    benchmark(make_solver, "direct", g)
+
+
+def test_factorisation_dst_129(benchmark):
+    g = RZGrid(129, 129)
+    benchmark(make_solver, "dst", g)

@@ -1,0 +1,52 @@
+"""Benchmark fixtures.
+
+Two kinds of benchmarks live here:
+
+* **Paper-artifact harnesses** (``bench_paper_tables.py``,
+  ``bench_paper_figures.py``) — regenerate every table and figure of the
+  evaluation section (model vs paper side by side).  Each rendered
+  artifact is also written to ``results/<artifact>.txt`` so the output
+  survives pytest's capture; EXPERIMENTS.md is assembled from these.
+* **Real wall-clock kernels** (``bench_kernels.py``, ``bench_solvers.py``,
+  ``bench_fit.py``) — pytest-benchmark timings of the actual Python
+  implementations, including the reference-loop vs vectorised ``pflux_``
+  contrast that mirrors the paper's 3x CPU optimisation.
+
+Set ``REPRO_BENCH_LARGE=1`` to extend the real-execution benchmarks to
+257^2 (the Green tables then cost ~135 MB per grid).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.study import PortabilityStudy
+from repro.machines.site import ALL_SITES
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def write_artifact(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def study():
+    return PortabilityStudy(ALL_SITES())
+
+
+@pytest.fixture(scope="session")
+def large_grids_enabled():
+    return os.environ.get("REPRO_BENCH_LARGE", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def shot65():
+    from repro.efit.measurements import synthetic_shot_186610
+
+    return synthetic_shot_186610(65)

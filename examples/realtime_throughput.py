@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Between-shot analysis throughput: should this machine use its GPUs?
+
+EFIT's production pattern is embarrassingly parallel over time slices: a
+shot yields hundreds of slices and a node reconstructs them concurrently,
+one per core (or one per GPU in the accelerated build).  The paper's
+Section 4 observation is that a GPU build therefore only pays off when one
+device beats ``cores/devices`` CPU cores — 16x on Perlmutter, 8x on
+Frontier, 8.7x on Sunspot.
+
+This example simulates a 250-slice between-shot analysis at each grid size
+and reports wall-clock per node for the CPU-only and GPU builds, plus the
+highest-resolution grid each node can turn around inside a 10-minute
+between-shot window.
+
+Run:  python examples/realtime_throughput.py
+"""
+
+from __future__ import annotations
+
+from repro.core import paper
+from repro.core.study import PortabilityStudy, cpu_fit_seconds
+from repro.machines.site import ALL_SITES
+from repro.utils.tables import Table, format_seconds
+
+N_SLICES = 250
+WINDOW_SECONDS = 600.0
+
+#: Heterogeneous per-slice iteration counts ("ten or hundreds", Section 2),
+#: dispatched by the greedy task farm in repro.core.timeslices.
+from repro.core.timeslices import schedule_slices, synthetic_slice_counts
+
+SLICES = synthetic_slice_counts(N_SLICES)
+
+
+def node_seconds_cpu(site, n: int) -> float:
+    return schedule_slices(SLICES, site.cpu.cores_per_node, cpu_fit_seconds(site, n)).makespan_seconds
+
+
+def node_seconds_gpu(study, site, n: int) -> float:
+    per_iter = study.gpu_fit_seconds(site, "openmp", n)
+    return schedule_slices(SLICES, site.devices_per_node, per_iter).makespan_seconds
+
+
+def main() -> None:
+    study = PortabilityStudy(ALL_SITES())
+    total_iters = sum(s.iterations for s in SLICES)
+    t = Table(
+        ["node", "grid", "CPU node (s)", "GPU node (s)", "GPU/CPU", "GPU wins?"],
+        title=f"Between-shot analysis: {N_SLICES} slices, {total_iters} fit_ iterations total "
+        "(heterogeneous, greedy task farm)",
+    )
+    best: dict[str, int] = {}
+    for site in study.sites:
+        for n in paper.GRID_SIZES:
+            cpu = node_seconds_cpu(site, n)
+            gpu = node_seconds_gpu(study, site, n)
+            t.add_row(
+                [
+                    site.name,
+                    f"{n}x{n}",
+                    format_seconds(cpu),
+                    format_seconds(gpu),
+                    f"{gpu / cpu:.2f}",
+                    "yes" if gpu < cpu else "no",
+                ]
+            )
+            if min(cpu, gpu) < WINDOW_SECONDS:
+                best[site.name] = n
+    print(t.render())
+    print(f"\nHighest resolution fitting inside a {WINDOW_SECONDS:.0f}s window:")
+    for name, n in best.items():
+        print(f"  {name:10s}: {n}x{n}")
+    print(
+        "\nWith ONLY pflux_ offloaded, whole-fit_ node throughput already\n"
+        "flips to the GPUs on Frontier at 257x257+ (8 GCDs vs 64 cores);\n"
+        "Perlmutter and Sunspot stay Amdahl-limited by the host-resident\n"
+        "routines — exactly the paper's conclusion that 'further GPU\n"
+        "acceleration of EFIT will require similar optimization of the\n"
+        "other routines in fit_'."
+    )
+
+
+if __name__ == "__main__":
+    main()

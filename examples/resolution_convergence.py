@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Why real-time EFIT wants fast high-resolution fits (the paper's intro).
+
+Reconstructs the same synthetic discharge at increasing grid resolution
+and shows how the control-relevant quantities (q95, elongation, beta_p)
+and the flux map converge — then asks the performance model what each
+resolution costs per time slice on CPU vs GPU, closing the loop with the
+paper's motivation: "high-resolution grids (257x257, 513x513) are
+required to get more accurate information for plasma control", and only
+GPU acceleration makes them affordable between shots.
+
+Run:  python examples/resolution_convergence.py
+"""
+
+from __future__ import annotations
+
+from repro.core.study import PortabilityStudy, cpu_fit_seconds
+from repro.efit.resolution import resolution_sweep
+from repro.machines.site import perlmutter
+from repro.utils.tables import Table, format_seconds
+
+
+def main() -> None:
+    sizes = (33, 65, 129)
+    print(f"Reconstructing the synthetic shot at {', '.join(map(str, sizes))} ...")
+    points = resolution_sweep(sizes)
+
+    t = Table(
+        ["grid", "fit_ calls", "chi^2", "q95", "kappa", "beta_p", "psi RMS err"],
+        title="Reconstruction accuracy vs grid resolution",
+    )
+    for p in points:
+        t.add_row(
+            [
+                p.label,
+                p.iterations,
+                f"{p.chi2:.1f}",
+                f"{p.q95:.3f}",
+                f"{p.kappa:.3f}",
+                f"{p.beta_poloidal:.4f}",
+                f"{p.psi_rms_vs_truth:.2e}",
+            ]
+        )
+    print(t.render())
+    dq = abs(points[0].q95 - points[-1].q95)
+    print(
+        f"\nq95 moves by {dq:.3f} between {points[0].label} and "
+        f"{points[-1].label} — resolution-limited error a control system"
+        "\nwould act on. Now the cost side (per fit_ invocation, modeled):\n"
+    )
+
+    site = perlmutter()
+    study = PortabilityStudy((site,))
+    t2 = Table(
+        ["grid", "CPU core", "A100 (OpenMP pflux_)", "GPU gain"],
+        title="Time per fit_ invocation on Perlmutter",
+    )
+    for n in (65, 129, 257, 513):
+        cpu = cpu_fit_seconds(site, n)
+        gpu = study.gpu_fit_seconds(site, "openmp", n)
+        t2.add_row([f"{n}x{n}", format_seconds(cpu), format_seconds(gpu), f"{cpu / gpu:.1f}x"])
+    print(t2.render())
+    print(
+        "\nAt 513x513 the GPU build turns a ~1.2 s fit_ invocation into"
+        "\n~90 ms — the difference between high-resolution control being"
+        "\noffline-only and being usable between shots."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro — reproduction of the SC-W 2023 EFIT GPU performance-portability study.
+
+Public API overview
+-------------------
+
+``repro.efit``
+    The Grad-Shafranov equilibrium-reconstruction substrate: grids, Green
+    functions, solvers, diagnostics, the ``fit_`` Picard loop and g-file I/O.
+``repro.directives``
+    OpenACC / OpenMP-target directive objects, pragma parsing and
+    cross-model translation.
+``repro.hardware`` / ``repro.machines``
+    Mechanistic device models (A100, MI250X GCD, PVC stack, host CPUs) and
+    the Perlmutter / Frontier / Sunspot node configurations.
+``repro.runtime`` / ``repro.compilers``
+    The simulated offload runtime (unified memory, kernel launches,
+    counters) and the NVHPC / CCE / oneAPI compiler models.
+``repro.core``
+    The paper's study itself: the GPU-offloaded ``pflux_``, the portability
+    sweep and the table/figure generators.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

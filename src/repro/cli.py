@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``study``
+    Regenerate the paper's tables and figures (model vs paper).
+``fit``
+    Reconstruct a synthetic time slice and optionally write a g-file.
+``census``
+    Print the directive census (Tables 4/5).
+``sites``
+    Describe the modeled machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EFIT GPU performance-portability study, reproduced.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_study = sub.add_parser("study", help="regenerate the paper's tables and figures")
+    p_study.add_argument(
+        "--artifact",
+        choices=["all", "table1", "table2", "table4", "table5", "table6", "table7",
+                 "fig1", "fig4", "fig5", "fig6", "fig7"],
+        default="all",
+        help="which artifact to print (default: all)",
+    )
+    p_study.add_argument(
+        "--grids",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="grid sizes to sweep (default: 65 129 257 513)",
+    )
+
+    p_fit = sub.add_parser("fit", help="reconstruct a synthetic time slice")
+    p_fit.add_argument("--grid", type=int, default=65, help="grid size (default 65)")
+    p_fit.add_argument("--noise", type=float, default=1e-3, help="measurement noise")
+    p_fit.add_argument("--solver", default="dst",
+                       choices=["direct", "dst", "cyclic", "cg"],
+                       help="interior GS solver")
+    p_fit.add_argument("--geqdsk", metavar="PATH", default=None,
+                       help="write the result as a g-EQDSK file")
+    p_fit.add_argument("--afile", metavar="PATH", default=None,
+                       help="write the scalar results as an a-file")
+
+    sub.add_parser("census", help="print the directive census (Tables 4/5)")
+    sub.add_parser("sites", help="describe the modeled machines")
+    sub.add_parser("version", help="print the package version")
+    return parser
+
+
+def _cmd_study(args) -> int:
+    from repro.core import report
+    from repro.core.study import PortabilityStudy
+    from repro.machines.site import ALL_SITES
+
+    kwargs = {}
+    if args.grids:
+        kwargs["grid_sizes"] = tuple(sorted(set(args.grids)))
+    study = PortabilityStudy(ALL_SITES(), **kwargs)
+    makers = {
+        "table1": lambda: report.table1_report(study),
+        "table2": lambda: report.table2_report(study),
+        "table4": lambda: report.table4_5_report()[0],
+        "table5": lambda: report.table4_5_report()[1],
+        "table6": lambda: report.table6_report(study),
+        "table7": lambda: report.table7_report(study),
+        "fig1": lambda: report.fig1_report(study, n=study.grid_sizes[-1]),
+        "fig4": lambda: report.fig4_report(),
+        "fig5": lambda: report.fig5_report(study, n=study.grid_sizes[-1]),
+        "fig6": lambda: report.fig6_report(study, n=study.grid_sizes[-1]),
+        "fig7": lambda: report.fig7_report(study),
+    }
+    names = list(makers) if args.artifact == "all" else [args.artifact]
+    for name in names:
+        print(makers[name]().render())
+        print()
+    return 0
+
+
+def _cmd_fit(args) -> int:
+    import numpy as np
+
+    from repro.efit import EfitSolver, synthetic_shot_186610
+
+    shot = synthetic_shot_186610(args.grid, noise=args.noise)
+    solver = EfitSolver(
+        shot.machine, shot.diagnostics, shot.grid, solver_name=args.solver
+    )
+    result = solver.fit(shot.measurements)
+    err = float(np.abs(result.psi - shot.truth.psi).max() / np.ptp(shot.truth.psi))
+    print(f"converged: {result.converged} after {result.iterations} iterations")
+    print(f"chi^2 = {result.chi2:.1f} over {shot.measurements.n_measurements} measurements")
+    print(f"Ip = {result.ip / 1e6:.4f} MA; flux error vs truth = {err:.2e}")
+    b = result.boundary
+    print(f"axis: R = {b.r_axis:.3f} m, Z = {b.z_axis:+.4f} m ({b.boundary_type})")
+    if args.geqdsk:
+        from repro.efit.output import geqdsk_from_fit, write_geqdsk
+
+        eq = geqdsk_from_fit(shot, result)
+        write_geqdsk(eq, args.geqdsk)
+        print(f"wrote {args.geqdsk}")
+    if args.afile:
+        from repro.efit.afile import afile_from_fit, write_afile
+
+        write_afile(afile_from_fit(shot, result), args.afile)
+        print(f"wrote {args.afile}")
+    return 0
+
+
+def _cmd_census(_args) -> int:
+    from repro.core.report import table4_5_report
+
+    t4, t5 = table4_5_report()
+    print(t4.render())
+    print()
+    print(t5.render())
+    return 0
+
+
+def _cmd_sites(_args) -> int:
+    from repro.machines.site import ALL_SITES
+
+    for site in ALL_SITES():
+        gpu = site.gpu
+        print(f"{site.name} ({site.facility})")
+        print(f"  host : {site.cpu.name}, {site.cpu.cores_per_node} cores/node")
+        print(
+            f"  gpu  : {site.devices_per_node} x {gpu.name} "
+            f"({gpu.peak_fp64_gflops / 1000:.1f} TF FP64, {gpu.hbm_bw_gbs:.0f} GB/s HBM)"
+        )
+        print(f"  build: {site.compiler.name} {site.compiler.version}; "
+              f"models: {', '.join(site.models)}")
+        print(f"  break-even: {site.acceleration_threshold:.1f}x per device")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse ``argv`` (default: process args) and dispatch."""
+    args = build_parser().parse_args(argv)
+    if args.command == "study":
+        return _cmd_study(args)
+    if args.command == "fit":
+        return _cmd_fit(args)
+    if args.command == "census":
+        return _cmd_census(args)
+    if args.command == "sites":
+        return _cmd_sites(args)
+    if args.command == "version":
+        from repro.version import __version__
+
+        print(__version__)
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Compiler models: NVHPC, HPE/Cray CCE, and Intel oneAPI (Table 3).
+
+A compiler model does two jobs:
+
+* **configuration** — parse the build flags and environment of Table 3
+  into runtime behaviour (managed memory, allocator policy, data-region
+  strategy);
+* **lowering** — turn a directive-annotated loop nest into an
+  :class:`~repro.runtime.kernel.ExecutionPlan` whose quality constants
+  come from :mod:`repro.calibration`.
+"""
+
+from repro.compilers.base import Compiler, OffloadBuild
+from repro.compilers.flags import parse_flags, CompilerFlags
+from repro.compilers.nvhpc import NvhpcCompiler
+from repro.compilers.cce import CceCompiler
+from repro.compilers.oneapi import OneApiCompiler
+from repro.compilers.registry import compiler_for_vendor
+
+__all__ = [
+    "Compiler",
+    "OffloadBuild",
+    "parse_flags",
+    "CompilerFlags",
+    "NvhpcCompiler",
+    "CceCompiler",
+    "OneApiCompiler",
+    "compiler_for_vendor",
+]

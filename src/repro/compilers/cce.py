@@ -1,0 +1,51 @@
+"""HPE/Cray CCE compiler model (Frontier, Table 3).
+
+CCE 14 builds both OpenACC (2.0 subset) and OpenMP target offload for
+MI250X.  Unified memory requires ``CRAY_ACC_USE_UNIFIED_MEM=1`` plus
+``HSA_XNACK=1`` in the environment; allocator behaviour follows
+``-hsystem_alloc`` / ``CRAY_MALLOPT_OFF`` (Figure 4) — without them CCE's
+default mallopt trims freed work arrays back to the OS and every
+``pflux_`` call re-faults its pages onto the GPU.
+"""
+
+from __future__ import annotations
+
+from repro.compilers.base import Compiler, OffloadBuild
+from repro.compilers.flags import CompilerFlags
+from repro.config import Environment
+from repro.errors import CompilerError
+from repro.hardware.arch import GPUArchitecture
+from repro.runtime.allocator import AllocationPolicy
+
+__all__ = ["CceCompiler"]
+
+
+class CceCompiler(Compiler):
+    """HPE/Cray CCE 14 model: OpenACC + OpenMP offload for MI250X."""
+
+    name = "cce"
+    version = "14.0.2"
+    vendors = ("AMD",)
+    models = ("openacc", "openmp")
+
+    def configure(
+        self, flags: CompilerFlags, env: Environment, arch: GPUArchitecture
+    ) -> OffloadBuild:
+        self.check_target(flags.model, arch)
+        if not env.unified_memory_requested:
+            raise CompilerError(
+                "the paper's Frontier builds rely on unified memory: set "
+                "CRAY_ACC_USE_UNIFIED_MEM=1 and HSA_XNACK=1 (Table 3)"
+            )
+        system_alloc = flags.system_alloc and env.cray_mallopt_off
+        policy = (
+            AllocationPolicy.ARENA_REUSE if system_alloc else AllocationPolicy.TRIM_ON_FREE
+        )
+        return OffloadBuild(
+            compiler=self,
+            model=flags.model,
+            arch=arch,
+            allocation_policy=policy,
+            unified_memory=True,
+            use_target_data=False,
+        )

@@ -1,0 +1,85 @@
+"""Compiler-flag parsing for the build lines of Table 3.
+
+Recognised forms::
+
+    -mp=gpu -gpu=cc80,managed          (NVHPC OpenMP)
+    -acc -gpu=cc80,managed             (NVHPC OpenACC)
+    -h omp -hsystem_alloc              (CCE OpenMP)
+    -h acc -hsystem_alloc              (CCE OpenACC)
+    -fopenmp -fopenmp-targets=spir64   (oneAPI OpenMP)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompilerError
+
+__all__ = ["CompilerFlags", "parse_flags"]
+
+
+@dataclass(frozen=True)
+class CompilerFlags:
+    """Normalised view of one build line."""
+
+    model: str  # "openacc" | "openmp"
+    managed_memory: bool = False
+    system_alloc: bool = False
+    gpu_options: tuple[str, ...] = ()
+    target: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.model not in ("openacc", "openmp"):
+            raise CompilerError(f"unknown programming model {self.model!r}")
+
+
+def parse_flags(flag_string: str) -> CompilerFlags:
+    """Parse one flag string into a :class:`CompilerFlags`."""
+    model: str | None = None
+    managed = False
+    system_alloc = False
+    gpu_options: list[str] = []
+    target: str | None = None
+
+    tokens = flag_string.split()
+    i = 0
+    while i < len(tokens):
+        tok = tokens[i]
+        if tok in ("-acc",):
+            model = "openacc"
+        elif tok.startswith("-mp"):
+            model = "openmp"
+        elif tok == "-fopenmp":
+            model = "openmp"
+        elif tok.startswith("-fopenmp-targets="):
+            target = tok.split("=", 1)[1]
+        elif tok == "-h":
+            i += 1
+            if i >= len(tokens):
+                raise CompilerError("dangling -h flag")
+            sub = tokens[i]
+            if sub == "acc":
+                model = "openacc"
+            elif sub == "omp":
+                model = "openmp"
+            else:
+                raise CompilerError(f"unknown Cray -h option {sub!r}")
+        elif tok == "-hsystem_alloc":
+            system_alloc = True
+        elif tok.startswith("-gpu="):
+            opts = tok.split("=", 1)[1].split(",")
+            gpu_options.extend(opts)
+            if "managed" in opts:
+                managed = True
+        else:
+            raise CompilerError(f"unrecognised flag {tok!r}")
+        i += 1
+    if model is None:
+        raise CompilerError(f"no offload model selected by flags {flag_string!r}")
+    return CompilerFlags(
+        model=model,
+        managed_memory=managed,
+        system_alloc=system_alloc,
+        gpu_options=tuple(gpu_options),
+        target=target,
+    )

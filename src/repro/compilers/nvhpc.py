@@ -1,0 +1,45 @@
+"""NVIDIA HPC SDK compiler model (Perlmutter, Table 3).
+
+NVHPC 22.7 supports both OpenACC and OpenMP target offload for NVIDIA
+GPUs.  ``-gpu=managed`` routes every allocation through the CUDA managed
+pool allocator, which retains pages across Fortran ALLOCATE/DEALLOCATE
+cycles — so Perlmutter never exhibits the Figure 4 allocator pathology.
+"""
+
+from __future__ import annotations
+
+from repro.compilers.base import Compiler, OffloadBuild
+from repro.compilers.flags import CompilerFlags
+from repro.config import Environment
+from repro.errors import CompilerError
+from repro.hardware.arch import GPUArchitecture
+from repro.runtime.allocator import AllocationPolicy
+
+__all__ = ["NvhpcCompiler"]
+
+
+class NvhpcCompiler(Compiler):
+    """NVIDIA HPC SDK 22.7 model: OpenACC + OpenMP offload for A100."""
+
+    name = "nvhpc"
+    version = "22.7"
+    vendors = ("NVIDIA",)
+    models = ("openacc", "openmp")
+
+    def configure(
+        self, flags: CompilerFlags, env: Environment, arch: GPUArchitecture
+    ) -> OffloadBuild:
+        self.check_target(flags.model, arch)
+        if not flags.managed_memory:
+            raise CompilerError(
+                "the paper's NVHPC builds require -gpu=managed (Table 3); "
+                "explicit data clauses were not written for the NVIDIA port"
+            )
+        return OffloadBuild(
+            compiler=self,
+            model=flags.model,
+            arch=arch,
+            allocation_policy=AllocationPolicy.ARENA_REUSE,
+            unified_memory=True,
+            use_target_data=False,
+        )

@@ -1,0 +1,51 @@
+"""Intel oneAPI compiler model (Sunspot, Table 3).
+
+oneAPI's ifx supports OpenMP target offload only (no OpenACC compiler
+exists for Intel GPUs — the reason Figure 5 has no Intel OpenACC bar).
+Unified memory is unavailable for this Fortran stack, so performance
+depends on explicit ``!$omp target data`` regions; without them the
+runtime copies each kernel's operands both ways on every launch
+(Section 6.2).
+"""
+
+from __future__ import annotations
+
+from repro.compilers.base import Compiler, OffloadBuild
+from repro.compilers.flags import CompilerFlags
+from repro.config import Environment
+from repro.errors import CompilerError
+from repro.hardware.arch import GPUArchitecture
+from repro.runtime.allocator import AllocationPolicy
+
+__all__ = ["OneApiCompiler"]
+
+
+class OneApiCompiler(Compiler):
+    """Intel oneAPI ifx model: OpenMP-target-only offload for PVC."""
+
+    name = "oneapi"
+    version = "2023.05.15.003"
+    vendors = ("Intel",)
+    models = ("openmp",)
+
+    def configure(
+        self,
+        flags: CompilerFlags,
+        env: Environment,
+        arch: GPUArchitecture,
+        *,
+        use_target_data: bool = True,
+    ) -> OffloadBuild:
+        self.check_target(flags.model, arch)
+        if flags.target != "spir64":
+            raise CompilerError(
+                "Intel GPU offload requires -fopenmp-targets=spir64 (Table 3)"
+            )
+        return OffloadBuild(
+            compiler=self,
+            model=flags.model,
+            arch=arch,
+            allocation_policy=AllocationPolicy.ARENA_REUSE,
+            unified_memory=False,
+            use_target_data=use_target_data,
+        )

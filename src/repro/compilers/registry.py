@@ -1,0 +1,25 @@
+"""Vendor -> compiler resolution, as the three facilities provide them."""
+
+from __future__ import annotations
+
+from repro.compilers.base import Compiler
+from repro.compilers.cce import CceCompiler
+from repro.compilers.nvhpc import NvhpcCompiler
+from repro.compilers.oneapi import OneApiCompiler
+from repro.errors import UnsupportedTargetError
+
+__all__ = ["compiler_for_vendor"]
+
+_BY_VENDOR: dict[str, type[Compiler]] = {
+    "NVIDIA": NvhpcCompiler,
+    "AMD": CceCompiler,
+    "Intel": OneApiCompiler,
+}
+
+
+def compiler_for_vendor(vendor: str) -> Compiler:
+    """The production compiler of each facility (Table 3)."""
+    try:
+        return _BY_VENDOR[vendor]()
+    except KeyError:
+        raise UnsupportedTargetError(f"no compiler model for vendor {vendor!r}") from None

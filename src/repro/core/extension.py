@@ -1,0 +1,179 @@
+"""Extension study: offloading the rest of ``fit_`` (the paper's future work).
+
+The paper closes with: "Further GPU acceleration of EFIT will require
+similar optimization of the other routines in ``fit_``".  This module
+projects that next step with the same machinery used for ``pflux_``:
+
+* ``green_``  — the response contraction ``G_meas_grid @ J_basis`` is a
+  dense (n_meas x N^2) x (N^2 x n_coeff) matmul: large, regular,
+  bandwidth-bound — an ideal offload target;
+* ``current_`` — the basis-current evaluation is an O(N^2) streaming
+  kernel;
+* ``steps_``  — the psiN build and convergence reductions offload, but the
+  axis/X-point searches and the LSQ stay on the host (serial logic), so a
+  host remainder survives.
+
+The projection answers the question the conclusions raise: with the full
+pipeline offloaded, do Perlmutter and Sunspot finally clear their
+node-throughput break-even bars at high resolution?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calibration import NONPFLUX_GPU_BUILD_SPEEDUP, NONPFLUX_SPLIT
+from repro.core.study import PortabilityStudy, cpu_nonpflux_seconds, cpu_pflux_seconds
+from repro.core.speedup import meets_threshold, node_throughput_ratio
+from repro.directives.ir import AccessMode, ArrayRef, Loop, LoopNest
+from repro.directives.openmp import OmpTargetTeamsDistribute
+from repro.directives.registry import AnnotatedKernel
+from repro.errors import CalibrationError
+from repro.machines.site import MachineSite
+from repro.runtime.kernel import ExecutionPlan
+
+__all__ = ["FullOffloadProjection", "project_full_offload"]
+
+#: Typical diagnostic count of the DIII-D setup (green_ row dimension).
+N_MEASUREMENTS = 101
+#: Fitted coefficients (p' + FF' bases).
+N_COEFFS = 4
+#: Fraction of steps_ that is serial host logic (axis/X-point search,
+#: LSQ triangularisation) and cannot be offloaded.
+STEPS_HOST_FRACTION = 0.35
+
+
+def _green_kernel(n: int) -> AnnotatedKernel:
+    """The response contraction: (n_meas x N^2) @ (N^2 x n_coeff)."""
+    n2 = n * n
+    return AnnotatedKernel(
+        nest=LoopNest(
+            name="green_response",
+            loops=(Loop("m", N_MEASUREMENTS), Loop("k", n2)),
+            flops_per_iteration=2.0 * N_COEFFS,
+            arrays=(
+                ArrayRef("g_meas", N_MEASUREMENTS * n2, AccessMode.READ, 1.0),
+                ArrayRef("jbasis", n2 * N_COEFFS, AccessMode.READ, float(N_COEFFS)),
+                ArrayRef("a_matrix", N_MEASUREMENTS * N_COEFFS, AccessMode.WRITE, 0.001),
+            ),
+            n_outer=1,
+        ),
+        acc_directives=(),
+        omp_directives=(OmpTargetTeamsDistribute(parallel_do=True, collapse=2),),
+        complexity="O(N^2)",
+    )
+
+
+def _current_kernel(n: int) -> AnnotatedKernel:
+    n2 = n * n
+    return AnnotatedKernel(
+        nest=LoopNest(
+            name="current_basis",
+            loops=(Loop("i", n), Loop("j", n)),
+            flops_per_iteration=4.0 * N_COEFFS,
+            arrays=(
+                ArrayRef("psin", n2, AccessMode.READ, 1.0),
+                ArrayRef("jbasis", n2 * N_COEFFS, AccessMode.WRITE, float(N_COEFFS)),
+            ),
+            n_outer=2,
+        ),
+        acc_directives=(),
+        omp_directives=(OmpTargetTeamsDistribute(parallel_do=True, collapse=2),),
+        complexity="O(N^2)",
+    )
+
+
+def _steps_kernel(n: int) -> AnnotatedKernel:
+    n2 = n * n
+    return AnnotatedKernel(
+        nest=LoopNest(
+            name="steps_psin",
+            loops=(Loop("i", n), Loop("j", n)),
+            flops_per_iteration=5.0,
+            arrays=(
+                ArrayRef("psi", n2, AccessMode.READ, 2.0),
+                ArrayRef("psin", n2, AccessMode.WRITE, 1.0),
+            ),
+            n_outer=2,
+            reductions=("residual",),
+        ),
+        acc_directives=(),
+        omp_directives=(OmpTargetTeamsDistribute(parallel_do=True, collapse=2),),
+        complexity="O(N^2)",
+    )
+
+
+@dataclass(frozen=True)
+class FullOffloadProjection:
+    """fit_ timing with the whole pipeline offloaded, per configuration."""
+
+    site: str
+    n: int
+    pflux_seconds: float
+    other_device_seconds: float
+    host_remainder_seconds: float
+    fit_seconds_pflux_only: float
+    fit_seconds_full: float
+    fit_speedup_pflux_only: float
+    fit_speedup_full: float
+    clears_threshold: bool
+    node_ratio: float
+
+    @property
+    def additional_gain(self) -> float:
+        return self.fit_seconds_pflux_only / self.fit_seconds_full
+
+
+def project_full_offload(
+    study: PortabilityStudy, site: MachineSite, model: str, n: int
+) -> FullOffloadProjection:
+    """Project ``fit_`` with ``green_``/``current_``/``steps_`` offloaded too.
+
+    Device time for the new kernels comes from the same compiler lowering
+    and executor cost model used for ``pflux_``; the serial share of
+    ``steps_`` (plus the LSQ) stays on the optimized host.
+    """
+    if model not in site.models:
+        raise CalibrationError(f"{site.name} has no {model} build")
+    pflux = study.gpu_pflux(site, model, n)
+    build = study._build(site, model)
+
+    # Lower and cost the three new kernel groups on the same executor
+    # context (Green tables and grid fields already resident).
+    from repro.runtime.executor import OffloadExecutor
+
+    executor = OffloadExecutor(
+        arch=build.arch,
+        allocation_policy=build.allocation_policy,
+        use_target_data=build.use_target_data,
+    )
+    kernels = [_green_kernel(n), _current_kernel(n), _steps_kernel(n)]
+    executor.begin_invocation([])
+    device_seconds = 0.0
+    for kernel in kernels:
+        plan: ExecutionPlan = build.compiler.lower(kernel, model, build.arch)
+        device_seconds += executor.launch(kernel.nest, plan)
+    executor.end_invocation()
+
+    nonpflux_host = cpu_nonpflux_seconds(site, n) / NONPFLUX_GPU_BUILD_SPEEDUP[site.name]
+    # The host keeps the serial slice of steps_ and the 'other' bucket.
+    host_remainder = nonpflux_host * (
+        NONPFLUX_SPLIT["steps_"] * STEPS_HOST_FRACTION + NONPFLUX_SPLIT["other"]
+    )
+    fit_pflux_only = pflux.seconds + nonpflux_host
+    fit_full = pflux.seconds + device_seconds + host_remainder
+    baseline = cpu_pflux_seconds(site, n) + cpu_nonpflux_seconds(site, n)
+    speedup_full = baseline / fit_full
+    return FullOffloadProjection(
+        site=site.name,
+        n=n,
+        pflux_seconds=pflux.seconds,
+        other_device_seconds=device_seconds,
+        host_remainder_seconds=host_remainder,
+        fit_seconds_pflux_only=fit_pflux_only,
+        fit_seconds_full=fit_full,
+        fit_speedup_pflux_only=baseline / fit_pflux_only,
+        fit_speedup_full=speedup_full,
+        clears_threshold=meets_threshold(site, speedup_full),
+        node_ratio=node_throughput_ratio(site, speedup_full),
+    )

@@ -1,0 +1,339 @@
+"""The GPU-offloaded ``pflux_``: kernel decomposition and annotations.
+
+This is the paper's Section 5 in executable form.  ``pflux_`` decomposes
+into six offloadable regions:
+
+====================  =========  ========================================
+region                class      annotation (OpenACC / OpenMP)
+====================  =========  ========================================
+``boundary_lr``       O(N^3)     ``parallel loop gang worker`` + ``loop
+                                 vector reduction``  /  ``target teams
+                                 distribute reduction`` + ``parallel do
+                                 reduction collapse(2)``  (Figures 2/3)
+``boundary_tb``       O(N^3)     same pair
+``rhs_build``         O(N^2)     ``kernel`` region / fused ``target teams
+                                 distribute parallel do collapse(2)``
+``solver_fast``       solver     same (6 device launches: DST passes +
+                                 tridiagonal sweeps)
+``small_loops``       small      same (the "dozens of smaller loops"
+                                 where launch latency dominates)
+``assemble``          O(N^2)     same
+====================  =========  ========================================
+
+The directive census over this registry reproduces Tables 4 and 5
+*exactly* (4x ``kernel`` + 4x ``end kernel`` + 2+2 loop directives for
+OpenACC; 4+2+2 for OpenMP — the "eight lines, ~2% of the routine").
+
+:class:`OffloadedPflux` plugs into :class:`~repro.efit.fitting.EfitSolver`
+in place of the CPU implementation: it produces *numerically identical*
+fluxes (the payload is the vectorised NumPy kernel) while charging modeled
+device time to a virtual clock and profiler counters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.calibration import PFLUX_SMALL_LOOPS, TEMP_WORK_ARRAYS
+from repro.compilers.base import OffloadBuild
+from repro.directives.ir import AccessMode, ArrayRef, Loop, LoopNest
+from repro.directives.openacc import AccEndKernels, AccKernels, AccLoop, AccParallelLoop
+from repro.directives.openmp import OmpParallelDo, OmpTargetTeamsDistribute
+from repro.directives.registry import AnnotatedKernel, KernelRegistry
+from repro.efit.grid import RZGrid
+from repro.efit.pflux import PfluxBase, boundary_flux_vectorized
+from repro.efit.solvers.base import GSInteriorSolver
+from repro.efit.tables import BoundaryGreensTables
+from repro.runtime.executor import OffloadExecutor
+from repro.runtime.kernel import ExecutionPlan
+from repro.runtime.memory import DeviceArray, Direction
+
+__all__ = [
+    "PFLUX_SOURCE_LINES",
+    "build_pflux_registry",
+    "pflux_device_arrays",
+    "PfluxOffloadModel",
+    "OffloadedPflux",
+]
+
+#: Source lines of the pflux_ routine being annotated.  Table 4 reports
+#: each 4-line directive group as 1.0% of the routine -> ~400 lines.
+PFLUX_SOURCE_LINES = 400
+
+_REDUCTIONS = ("tempsum1", "tempsum2")
+
+
+def _boundary_directives(num_workers: int, vector_length: int):
+    """The Figure 2 / Figure 3 annotation pair for one O(N^3) nest."""
+    acc = (
+        AccParallelLoop(
+            gang=True,
+            worker=True,
+            num_workers=num_workers,
+            vector_length=vector_length,
+        ),
+        AccLoop(vector=True, reduction=_REDUCTIONS),
+    )
+    omp = (
+        OmpTargetTeamsDistribute(reduction=_REDUCTIONS),
+        OmpParallelDo(reduction=_REDUCTIONS, collapse=2),
+    )
+    return acc, omp
+
+
+def _kernels_region_directives():
+    """Annotation of one simple region: ``!$acc kernel`` pair vs the fused
+    OpenMP form (the Table 4 <-> Table 5 row mapping)."""
+    return (AccKernels(), AccEndKernels()), (
+        OmpTargetTeamsDistribute(parallel_do=True, collapse=2),
+    )
+
+
+def build_pflux_registry(
+    nw: int,
+    nh: int | None = None,
+    *,
+    num_workers: int = 4,
+    vector_length: int = 32,
+) -> KernelRegistry:
+    """Assemble the annotated-kernel registry of the offloaded ``pflux_``.
+
+    ``vector_length`` follows the paper: 32 (warp) on NVIDIA, 64
+    (wavefront) on AMD.
+    """
+    nh = nh if nh is not None else nw
+    n2 = nw * nh
+    registry = KernelRegistry("pflux_", PFLUX_SOURCE_LINES)
+
+    acc_b, omp_b = _boundary_directives(num_workers, vector_length)
+    registry.register(
+        AnnotatedKernel(
+            nest=LoopNest(
+                name="boundary_lr",
+                loops=(Loop("j", nh), Loop("ii", nw), Loop("jj", nh)),
+                flops_per_iteration=4.0,
+                arrays=(
+                    ArrayRef("gridpc", 2 * nh * nw, AccessMode.READ, 2.0),
+                    ArrayRef("pcurr", n2, AccessMode.READ, 1.0),
+                    ArrayRef("psi", 2 * nh, AccessMode.WRITE, 2.0 / n2),
+                ),
+                n_outer=1,
+                reductions=_REDUCTIONS,
+            ),
+            acc_directives=acc_b,
+            omp_directives=omp_b,
+            complexity="O(N^3)",
+        )
+    )
+    registry.register(
+        AnnotatedKernel(
+            nest=LoopNest(
+                name="boundary_tb",
+                loops=(Loop("i", nw), Loop("ii", nw), Loop("jj", nh)),
+                flops_per_iteration=4.0,
+                arrays=(
+                    ArrayRef("gridpc", nw * nh * nw, AccessMode.READ, 2.0),
+                    ArrayRef("pcurr", n2, AccessMode.READ, 1.0),
+                    ArrayRef("psi", 2 * nw, AccessMode.WRITE, 2.0 / n2),
+                ),
+                n_outer=1,
+                reductions=_REDUCTIONS,
+            ),
+            acc_directives=acc_b,
+            omp_directives=omp_b,
+            complexity="O(N^3)",
+        )
+    )
+
+    acc_k, omp_k = _kernels_region_directives()
+    registry.register(
+        AnnotatedKernel(
+            nest=LoopNest(
+                name="rhs_build",
+                loops=(Loop("i", nw), Loop("j", nh)),
+                flops_per_iteration=3.0,
+                arrays=(
+                    ArrayRef("pcurr", n2, AccessMode.READ, 1.0),
+                    ArrayRef("rgrid", nw, AccessMode.READ, 1.0),
+                    ArrayRef("work", n2, AccessMode.WRITE, 1.0),
+                ),
+                n_outer=2,
+            ),
+            acc_directives=acc_k,
+            omp_directives=omp_k,
+            complexity="O(N^2)",
+        )
+    )
+    registry.register(
+        AnnotatedKernel(
+            nest=LoopNest(
+                name="solver_fast",
+                loops=(Loop("i", max(nw - 2, 1)), Loop("j", max(nh - 2, 1))),
+                flops_per_iteration=5.0 * math.log2(max(nh, 2)) + 16.0,
+                arrays=(
+                    ArrayRef("work", n2, AccessMode.READWRITE, 6.0),
+                    ArrayRef("psi", n2, AccessMode.WRITE, 1.0),
+                ),
+                n_outer=2,
+            ),
+            acc_directives=acc_k,
+            omp_directives=omp_k,
+            complexity="solver",
+            launches=6,
+        )
+    )
+    registry.register(
+        AnnotatedKernel(
+            nest=LoopNest(
+                name="small_loops",
+                loops=(Loop("i", max(nw, nh)), Loop("k", PFLUX_SMALL_LOOPS)),
+                flops_per_iteration=2.0,
+                arrays=(
+                    ArrayRef("work", PFLUX_SMALL_LOOPS * max(nw, nh), AccessMode.READWRITE, 2.0),
+                ),
+                n_outer=1,
+            ),
+            acc_directives=acc_k,
+            omp_directives=omp_k,
+            complexity="small",
+            launches=PFLUX_SMALL_LOOPS,
+        )
+    )
+    registry.register(
+        AnnotatedKernel(
+            nest=LoopNest(
+                name="assemble",
+                loops=(Loop("i", nw), Loop("j", nh)),
+                flops_per_iteration=1.0,
+                arrays=(
+                    ArrayRef("psi", n2, AccessMode.READWRITE, 2.0),
+                    ArrayRef("psi_ext", n2, AccessMode.READ, 1.0),
+                ),
+                n_outer=2,
+            ),
+            acc_directives=acc_k,
+            omp_directives=omp_k,
+            complexity="O(N^2)",
+        )
+    )
+    return registry
+
+
+def pflux_device_arrays(nw: int, nh: int | None = None) -> list[DeviceArray]:
+    """The arrays one ``pflux_`` invocation touches, for data management.
+
+    The Green table is staged once and stays device-resident; ``pcurr`` is
+    host-rewritten every Picard iterate (H2D each call); ``psi`` is read
+    back by ``steps_`` every iterate (D2H each call); the Fortran work
+    arrays are allocated/freed per call — the population whose residency
+    the Cray default mallopt destroys (Figure 4).
+    """
+    nh = nh if nh is not None else nw
+    n2_bytes = float(nw * nh * 8)
+    arrays = [
+        DeviceArray("gridpc", float(nw * nh * nw * 8), Direction.RESIDENT, persistent=True),
+        DeviceArray("psi_ext", n2_bytes, Direction.RESIDENT, persistent=True),
+        DeviceArray("rgrid", float(nw * 8), Direction.RESIDENT, persistent=True),
+        DeviceArray("pcurr", n2_bytes, Direction.IN, persistent=True),
+        DeviceArray("psi", n2_bytes, Direction.OUT, persistent=True),
+    ]
+    for k in range(TEMP_WORK_ARRAYS):
+        arrays.append(
+            DeviceArray(f"work{k:02d}", n2_bytes, Direction.SCRATCH, persistent=False)
+        )
+    return arrays
+
+
+@dataclass
+class PfluxOffloadModel:
+    """Cost-only model of one offloaded ``pflux_`` (no numerics needed).
+
+    Usable at any grid size — including 513^2, where building the real
+    Green tables costs a gigabyte — because it only manipulates counts.
+    """
+
+    nw: int
+    nh: int
+    build: OffloadBuild
+
+    def __post_init__(self) -> None:
+        arch = self.build.arch
+        working_set = sum(a.nbytes for a in pflux_device_arrays(self.nw, self.nh))
+        capacity = arch.hbm_gib * 1024**3
+        if working_set > capacity:
+            from repro.errors import RuntimeModelError
+
+            raise RuntimeModelError(
+                f"pflux_ working set {working_set / 1e9:.1f} GB (Green tables "
+                f"dominate, O(N^3)) exceeds {arch.name}'s {arch.hbm_gib:.0f} GiB "
+                f"device memory at {self.nw}x{self.nh}"
+            )
+        vector_length = 64 if arch.vendor == "AMD" else 32
+        self.registry = build_pflux_registry(
+            self.nw, self.nh, vector_length=vector_length
+        )
+        self.plans: dict[str, ExecutionPlan] = {
+            k.name: self.build.compiler.lower(k, self.build.model, self.build.arch)
+            for k in self.registry
+        }
+        self.executor = OffloadExecutor(
+            arch=self.build.arch,
+            allocation_policy=self.build.allocation_policy,
+            use_target_data=self.build.use_target_data,
+        )
+        self.arrays = pflux_device_arrays(self.nw, self.nh)
+
+    def invoke(self) -> dict[str, float]:
+        """Model one ``pflux_`` call; returns per-kernel seconds plus the
+        ``__total__`` wall time including data management."""
+        clock = self.executor.clock
+        start = clock.now()
+        self.executor.begin_invocation(self.arrays)
+        per_kernel: dict[str, float] = {}
+        for kernel in self.registry:
+            per_kernel[kernel.name] = self.executor.launch(
+                kernel.nest, self.plans[kernel.name]
+            )
+        self.executor.end_invocation()
+        per_kernel["__total__"] = clock.now() - start
+        return per_kernel
+
+    def steady_state_seconds(self, *, warmup: int = 1) -> float:
+        """Per-call time after the Green tables are resident — the paper's
+        per-invocation numbers average over hundreds of Picard iterations,
+        so the one-time staging cost is amortised away."""
+        for _ in range(max(warmup, 1)):
+            self.invoke()
+        return self.invoke()["__total__"]
+
+
+class OffloadedPflux(PfluxBase):
+    """Drop-in ``pflux_`` that runs the real numerics while charging
+    modeled GPU time — the reproduction's equivalent of running the
+    directive build on a real device."""
+
+    def __init__(
+        self,
+        grid: RZGrid,
+        tables: BoundaryGreensTables,
+        solver: GSInteriorSolver,
+        build: OffloadBuild,
+    ) -> None:
+        # PfluxBase is a dataclass; initialise its fields explicitly.
+        PfluxBase.__init__(self, grid, tables, solver)
+        self.model = PfluxOffloadModel(grid.nw, grid.nh, build)
+
+    def _boundary_flux(self, pcurr: np.ndarray) -> np.ndarray:
+        return boundary_flux_vectorized(self.tables, pcurr)
+
+    def compute(self, pcurr: np.ndarray, psi_external: np.ndarray | None = None) -> np.ndarray:
+        self.last_invocation = self.model.invoke()
+        return super().compute(pcurr, psi_external)
+
+    @property
+    def modeled_seconds(self) -> float:
+        """Total device-context virtual time accumulated so far."""
+        return self.model.executor.clock.now()

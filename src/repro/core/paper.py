@@ -1,0 +1,98 @@
+"""Every number published in the paper's evaluation, transcribed.
+
+The benchmark harness prints these beside the model's output
+(EXPERIMENTS.md records both), and the calibration tests assert the model
+lands within tolerance.  Grid sizes are indexed by N in {65, 129, 257,
+513}; all times are seconds per call.
+"""
+
+from __future__ import annotations
+
+GRID_SIZES: tuple[int, ...] = (65, 129, 257, 513)
+
+# --- Table 1: baseline CPU fit_ time per invocation (one core) -------------
+TABLE1_FIT_CPU: dict[str, dict[int, float]] = {
+    "perlmutter": {65: 0.004, 129: 0.024, 257: 0.17, 513: 1.15},
+    "frontier": {65: 0.004, 129: 0.023, 257: 0.16, 513: 1.15},
+    "sunspot": {65: 0.003, 129: 0.02, 257: 0.21, 513: 1.34},
+}
+
+# --- Table 2: baseline CPU pflux_ time per call and share of fit_ ----------
+TABLE2_PFLUX_CPU: dict[str, dict[int, float]] = {
+    "perlmutter": {65: 2.4e-3, 129: 1.6e-2, 257: 1.4e-1, 513: 1.04},
+    "frontier": {65: 2.2e-3, 129: 1.7e-2, 257: 1.4e-1, 513: 1.05},
+    "sunspot": {65: 1.5e-3, 129: 1.2e-2, 257: 1.8e-1, 513: 1.18},
+}
+
+TABLE2_PFLUX_SHARE: dict[str, dict[int, float]] = {
+    "perlmutter": {65: 0.57, 129: 0.72, 257: 0.84, 513: 0.90},
+    "frontier": {65: 0.61, 129: 0.75, 257: 0.85, 513: 0.92},
+    "sunspot": {65: 0.47, 129: 0.61, 257: 0.84, 513: 0.88},
+}
+
+# --- Table 4: OpenACC directive census over pflux_ --------------------------
+TABLE4_ACC_CENSUS: dict[str, int] = {
+    "!$acc kernel": 4,
+    "!$acc end kernel": 4,
+    "!$acc parallel loop gang worker": 2,
+    "!$acc loop vector reduction": 2,
+}
+
+# --- Table 5: OpenMP directive census over pflux_ ---------------------------
+TABLE5_OMP_CENSUS: dict[str, int] = {
+    "!$omp target teams distribute parallel do collapse": 4,
+    "!$omp target teams distribute reduction": 2,
+    "!$omp parallel do reduction collapse": 2,
+}
+
+# --- Table 6: OpenACC pflux_ time and speedup --------------------------------
+TABLE6_ACC_TIME: dict[str, dict[int, float]] = {
+    "perlmutter": {65: 9.10e-4, 129: 1.80e-3, 257: 4.45e-3, 513: 1.63e-2},
+    "frontier": {65: 1.6e-3, 129: 3.4e-3, 257: 1.2e-2, 513: 8.4e-2},
+}
+
+TABLE6_ACC_SPEEDUP: dict[str, dict[int, float]] = {
+    "perlmutter": {65: 2.4, 129: 10.0, 257: 31.0, 513: 65.0},
+    "frontier": {65: 1.4, 129: 5.0, 257: 12.0, 513: 13.0},
+}
+
+# --- Table 7: OpenMP pflux_ time and speedup ---------------------------------
+TABLE7_OMP_TIME: dict[str, dict[int, float]] = {
+    "perlmutter": {65: 1.05e-3, 129: 1.39e-3, 257: 3.42e-3, 513: 1.48e-2},
+    "frontier": {65: 6.9e-4, 129: 2.16e-3, 257: 4.6e-3, 513: 1.89e-2},
+    "sunspot": {65: 4.2e-3, 129: 6.73e-3, 257: 1.6e-2, 513: 8.84e-2},
+}
+
+TABLE7_OMP_SPEEDUP: dict[str, dict[int, float]] = {
+    "perlmutter": {65: 2.0, 129: 11.0, 257: 41.0, 513: 70.0},
+    "frontier": {65: 3.0, 129: 8.0, 257: 30.0, 513: 56.0},
+    "sunspot": {65: 0.35, 129: 2.0, 257: 11.0, 513: 13.0},
+}
+
+# --- Figure 5: HBM data movement of the O(N^3) kernels at 513^2 --------------
+# The paper prints ratios, not absolute bytes: OpenACC moves 1.6x more than
+# OpenMP on NVIDIA and 3.7x more on AMD; OpenMP movement is comparable on
+# NVIDIA, AMD and Intel.
+FIG5_ACC_OVER_OMP: dict[str, float] = {"perlmutter": 1.6, "frontier": 3.7}
+
+# --- Figure 6: pflux_ share of fit_ after OpenMP offload (513^2) --------------
+FIG6_PFLUX_SHARE_GPU: dict[str, float] = {
+    "perlmutter": 0.16,
+    "frontier": 0.27,
+    "sunspot": 0.44,
+}
+
+# --- Figure 4: effect of -hsystem_alloc on Frontier --------------------------
+# "the run-time for small size problems got between 10x to 2x faster".
+FIG4_SYSTEM_ALLOC_GAIN_65: float = 10.0
+FIG4_SYSTEM_ALLOC_GAIN_257: float = 2.0
+
+# --- Section 4 / 6.2: node-throughput break-even thresholds -------------------
+ACCELERATION_THRESHOLDS: dict[str, float] = {
+    "perlmutter": 16.0,
+    "frontier": 8.0,
+    "sunspot": 8.7,
+}
+
+# --- Section 6: CPU-side optimization ----------------------------------------
+CPU_OPT_SPEEDUP: float = 3.0

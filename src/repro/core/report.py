@@ -1,0 +1,308 @@
+"""Table/figure generation: renders each paper artifact, model vs paper.
+
+Every function returns a :class:`~repro.utils.tables.Table` ready to
+print, plus (where useful) the raw data dict for programmatic use.  The
+benchmark harness under ``benchmarks/`` calls these and tees the output
+into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.core import paper
+from repro.core.offload import build_pflux_registry
+from repro.core.speedup import meets_threshold
+from repro.core.study import (
+    PortabilityStudy,
+    cpu_fit_seconds,
+    cpu_pflux_seconds,
+    fit_breakdown_cpu,
+)
+from repro.machines.site import MachineSite, frontier
+from repro.utils.tables import Table, format_bytes, format_seconds, format_speedup
+
+__all__ = [
+    "table1_report",
+    "table2_report",
+    "table4_5_report",
+    "table6_report",
+    "table7_report",
+    "fig1_report",
+    "fig4_report",
+    "fig5_report",
+    "fig6_report",
+    "fig7_report",
+    "roofline_report",
+]
+
+
+def _grid_header(study: PortabilityStudy) -> list[str]:
+    return [f"{n}x{n}" for n in study.grid_sizes]
+
+
+def table1_report(study: PortabilityStudy) -> Table:
+    """Table 1: baseline CPU ``fit_`` seconds per invocation."""
+    t = Table(
+        ["system", "quantity", *_grid_header(study)],
+        title="Table 1 — fit_ time per invocation, one CPU core (model vs paper)",
+    )
+    for site in study.sites:
+        t.add_row(
+            [site.name, "model", *(format_seconds(cpu_fit_seconds(site, n)) for n in study.grid_sizes)]
+        )
+        t.add_row(
+            [site.name, "paper", *(format_seconds(paper.TABLE1_FIT_CPU[site.name][n]) for n in study.grid_sizes)]
+        )
+    return t
+
+
+def table2_report(study: PortabilityStudy) -> Table:
+    """Table 2: baseline CPU ``pflux_`` seconds per call and share of fit_."""
+    t = Table(
+        ["system", "quantity", *_grid_header(study)],
+        title="Table 2 — pflux_ time per call and % of fit_ (model vs paper)",
+    )
+    for site in study.sites:
+        model_t = {n: cpu_pflux_seconds(site, n) for n in study.grid_sizes}
+        model_share = {
+            n: model_t[n] / cpu_fit_seconds(site, n) for n in study.grid_sizes
+        }
+        t.add_row([site.name, "model time", *(format_seconds(model_t[n]) for n in study.grid_sizes)])
+        t.add_row([site.name, "paper time", *(format_seconds(paper.TABLE2_PFLUX_CPU[site.name][n]) for n in study.grid_sizes)])
+        t.add_row([site.name, "model % fit_", *(f"{100 * model_share[n]:.0f}%" for n in study.grid_sizes)])
+        t.add_row([site.name, "paper % fit_", *(f"{100 * paper.TABLE2_PFLUX_SHARE[site.name][n]:.0f}%" for n in study.grid_sizes)])
+    return t
+
+
+def table4_5_report() -> tuple[Table, Table]:
+    """Tables 4 and 5: the directive census over the offloaded pflux_."""
+    registry = build_pflux_registry(65)
+    out = []
+    for model, title, paper_census in (
+        ("openacc", "Table 4 — OpenACC directives over pflux_", paper.TABLE4_ACC_CENSUS),
+        ("openmp", "Table 5 — OpenMP directives over pflux_", paper.TABLE5_OMP_CENSUS),
+    ):
+        t = Table(["directive", "count (ours)", "% of routine", "count (paper)"], title=title)
+        for pragma, count, pct in registry.census_table(model):
+            t.add_row([pragma, count, f"{pct:.1f}%", paper_census.get(pragma, "-")])
+        out.append(t)
+    return out[0], out[1]
+
+
+def _gpu_table(
+    study: PortabilityStudy,
+    model: str,
+    site_names: tuple[str, ...],
+    title: str,
+    paper_time: dict,
+    paper_speedup: dict,
+) -> Table:
+    t = Table(["GPU", "quantity", *_grid_header(study)], title=title)
+    for name in site_names:
+        site = study.site(name)
+        results = {n: study.gpu_pflux(site, model, n) for n in study.grid_sizes}
+        t.add_row([site.gpu.vendor, "model time (s)", *(format_seconds(results[n].seconds) for n in study.grid_sizes)])
+        t.add_row([site.gpu.vendor, "paper time (s)", *(format_seconds(paper_time[name][n]) for n in study.grid_sizes)])
+        t.add_row([site.gpu.vendor, "model speedup", *(format_speedup(results[n].speedup) for n in study.grid_sizes)])
+        t.add_row([site.gpu.vendor, "paper speedup", *(format_speedup(paper_speedup[name][n]) for n in study.grid_sizes)])
+    return t
+
+
+def table6_report(study: PortabilityStudy) -> Table:
+    """Table 6: OpenACC pflux_ time and speedup on NVIDIA and AMD."""
+    return _gpu_table(
+        study,
+        "openacc",
+        ("perlmutter", "frontier"),
+        "Table 6 — pflux_ with OpenACC (model vs paper)",
+        paper.TABLE6_ACC_TIME,
+        paper.TABLE6_ACC_SPEEDUP,
+    )
+
+
+def table7_report(study: PortabilityStudy) -> Table:
+    """Table 7: OpenMP pflux_ time and speedup on all three vendors."""
+    return _gpu_table(
+        study,
+        "openmp",
+        ("perlmutter", "frontier", "sunspot"),
+        "Table 7 — pflux_ with OpenMP (model vs paper)",
+        paper.TABLE7_OMP_TIME,
+        paper.TABLE7_OMP_SPEEDUP,
+    )
+
+
+def fig1_report(study: PortabilityStudy, n: int = 513) -> Table:
+    """Figure 1: CPU fit_ breakdown pies at 513^2."""
+    t = Table(
+        ["system", "pflux_", "green_", "current_", "steps_", "other"],
+        title=f"Figure 1 — fit_ breakdown on one CPU core at {n}x{n} (pflux_ ~90% in paper)",
+    )
+    for site in study.sites:
+        shares = fit_breakdown_cpu(site, n)
+        t.add_row(
+            [site.name]
+            + [f"{100 * shares[k]:.0f}%" for k in ("pflux_", "green_", "current_", "steps_", "other")]
+        )
+    return t
+
+
+def fig4_report(study_fast: PortabilityStudy | None = None) -> Table:
+    """Figure 4: AMD MI250X with and without -hsystem_alloc."""
+    fast = study_fast if study_fast is not None else PortabilityStudy((frontier(),))
+    slow = PortabilityStudy((frontier(system_alloc=False),))
+    t = Table(
+        ["model", "quantity", *(f"{n}x{n}" for n in fast.grid_sizes)],
+        title="Figure 4 — pflux_ on one MI250X GCD with/without -hsystem_alloc "
+        "(paper: 10x-2x gains, mainly small grids)",
+    )
+    for model in ("openacc", "openmp"):
+        f = {n: fast.gpu_pflux(fast.sites[0], model, n).seconds for n in fast.grid_sizes}
+        s = {n: slow.gpu_pflux(slow.sites[0], model, n).seconds for n in fast.grid_sizes}
+        t.add_row([model, "with (s)", *(format_seconds(f[n]) for n in fast.grid_sizes)])
+        t.add_row([model, "without (s)", *(format_seconds(s[n]) for n in fast.grid_sizes)])
+        t.add_row([model, "gain", *(format_speedup(s[n] / f[n]) for n in fast.grid_sizes)])
+    return t
+
+
+def fig5_report(study: PortabilityStudy, n: int = 513) -> Table:
+    """Figure 5: HBM data movement of the O(N^3) kernels at 513^2."""
+    t = Table(
+        ["configuration", "boundary-kernel HBM bytes", "vs own OpenMP"],
+        title=f"Figure 5 — GPU data movement of the O(N^3) kernels at {n}x{n} "
+        "(paper: OpenACC = 1.6x OpenMP on NVIDIA, 3.7x on AMD)",
+    )
+    omp_bytes = {}
+    rows = []
+    for name, model in (
+        ("perlmutter", "openmp"),
+        ("perlmutter", "openacc"),
+        ("frontier", "openmp"),
+        ("frontier", "openacc"),
+        ("sunspot", "openmp"),
+    ):
+        site = study.site(name)
+        r = study.gpu_pflux(site, model, n)
+        if model == "openmp":
+            omp_bytes[name] = r.boundary_dram_bytes
+        rows.append((f"{site.gpu.vendor} {model}", r.boundary_dram_bytes, name, model))
+    for label, nbytes, name, model in rows:
+        ratio = nbytes / omp_bytes[name]
+        t.add_row([label, format_bytes(nbytes), f"{ratio:.2f}x"])
+    return t
+
+
+def fig6_report(study: PortabilityStudy, n: int = 513) -> Table:
+    """Figure 6: fit_ breakdown after OpenMP offload."""
+    t = Table(
+        ["system", "pflux_ (model)", "pflux_ (paper)", "green_", "current_", "steps_", "other"],
+        title=f"Figure 6 — fit_ breakdown with OpenMP-offloaded pflux_ at {n}x{n}",
+    )
+    for site in study.sites:
+        shares = study.fit_breakdown_gpu(site, "openmp", n)
+        t.add_row(
+            [
+                site.name,
+                f"{100 * shares['pflux_']:.0f}%",
+                f"{100 * paper.FIG6_PFLUX_SHARE_GPU[site.name]:.0f}%",
+                *(f"{100 * shares[k]:.0f}%" for k in ("green_", "current_", "steps_", "other")),
+            ]
+        )
+    return t
+
+
+def roofline_report(study: PortabilityStudy, site_name: str, model: str, n: int = 513) -> Table:
+    """Per-kernel roofline placement for one offloaded configuration.
+
+    The methodology of the paper's related work (Mehta et al., the SNAP
+    study): for each kernel, compare achieved FLOP rate against the
+    roofline bound at its arithmetic intensity.  Achieved rates come from
+    the simulated counters (flops / device seconds); the AI uses the
+    *moved* bytes, i.e. the lowering's traffic, not the ideal footprint.
+    """
+    from repro.core.offload import build_pflux_registry
+    from repro.hardware.roofline import attainable_gflops
+
+    site = study.site(site_name)
+    result = study.gpu_pflux(site, model, n)
+    registry = build_pflux_registry(n, n)
+    t = Table(
+        ["kernel", "class", "AI (F/B)", "attainable GF/s", "achieved GF/s", "% roofline"],
+        title=f"Roofline placement — {site.gpu.vendor} {model} at {n}x{n}",
+    )
+    for kernel in registry:
+        seconds = result.per_kernel.get(kernel.name)
+        if not seconds:
+            continue
+        plan_traffic = kernel.nest.streaming_bytes
+        # Reconstruct moved bytes from the counters ratio is awkward; use
+        # modeled seconds directly for the achieved rate.
+        achieved = kernel.nest.total_flops / seconds / 1e9
+        moved = plan_traffic  # streaming as the AI denominator baseline
+        ai = kernel.nest.total_flops / moved if moved else float("inf")
+        attainable = attainable_gflops(site.gpu, ai)
+        t.add_row(
+            [
+                kernel.name,
+                kernel.complexity,
+                f"{ai:.3f}",
+                f"{attainable:.0f}",
+                f"{achieved:.1f}",
+                f"{100 * achieved / attainable:.1f}%",
+            ]
+        )
+    return t
+
+
+def fig7_report(study: PortabilityStudy) -> Table:
+    """Figure 7: the speedup summary across sites, models, grids."""
+    t = Table(
+        ["system", "series", *_grid_header(study)],
+        title="Figure 7 — pflux_ speedup vs one baseline CPU core "
+        "(threshold column: node break-even, Section 4)",
+    )
+    for site in study.sites:
+        series = study.speedup_summary(site)
+        t.add_row([site.name, "cpu baseline", *(["1.0x"] * len(study.grid_sizes))])
+        t.add_row(
+            [site.name, "cpu optimized", *(format_speedup(series["cpu_optimized"][n]) for n in study.grid_sizes)]
+        )
+        for model in ("openacc", "openmp"):
+            if model not in series:
+                continue
+            cells = []
+            for n in study.grid_sizes:
+                s = series[model][n]
+                mark = "*" if meets_threshold(site, s) else ""
+                cells.append(format_speedup(s) + mark)
+            t.add_row([site.name, model, *cells])
+    return t
+
+
+def extension_report(study: PortabilityStudy, n: int = 513) -> Table:
+    """The paper's future work, projected: fit_ with everything offloaded.
+
+    "Further GPU acceleration of EFIT will require similar optimization of
+    the other routines in fit_" (Conclusions) — this table quantifies the
+    payoff using the same cost model, and marks which nodes then clear
+    their break-even bars for the *whole* reconstruction.
+    """
+    from repro.core.extension import project_full_offload
+
+    t = Table(
+        ["system", "fit_ (pflux_-only offload)", "fit_ (full offload)",
+         "extra gain", "fit_ speedup", "clears node bar?"],
+        title=f"Extension — projected full-fit_ offload at {n}x{n} (OpenMP)",
+    )
+    for site in study.sites:
+        p = project_full_offload(study, site, "openmp", n)
+        t.add_row(
+            [
+                site.name,
+                format_seconds(p.fit_seconds_pflux_only),
+                format_seconds(p.fit_seconds_full),
+                f"{p.additional_gain:.1f}x",
+                format_speedup(p.fit_speedup_full),
+                "yes" if p.clears_threshold else "no",
+            ]
+        )
+    return t

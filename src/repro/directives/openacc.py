@@ -1,0 +1,155 @@
+"""OpenACC directive objects and pragma parsing.
+
+Renders and parses the exact pragma forms the paper uses (Table 4 and
+Figure 2)::
+
+    !$acc kernel
+    !$acc end kernel
+    !$acc parallel loop gang worker num_workers(4) vector_length(32)
+    !$acc loop vector reduction(+:tempsum1,tempsum2)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import DirectiveParseError
+
+__all__ = [
+    "AccDirective",
+    "AccKernels",
+    "AccEndKernels",
+    "AccParallelLoop",
+    "AccLoop",
+    "parse_acc",
+]
+
+_SENTINEL = "!$acc"
+
+
+@dataclass(frozen=True)
+class AccDirective:
+    """Base class; concrete directives render with :meth:`to_pragma`."""
+
+    def to_pragma(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def model(self) -> str:
+        return "openacc"
+
+
+@dataclass(frozen=True)
+class AccKernels(AccDirective):
+    """``!$acc kernel`` — let the compiler auto-parallelise the region.
+
+    (The paper spells it without the trailing "s"; we reproduce that.)
+    """
+
+    def to_pragma(self) -> str:
+        return f"{_SENTINEL} kernel"
+
+
+@dataclass(frozen=True)
+class AccEndKernels(AccDirective):
+    def to_pragma(self) -> str:
+        return f"{_SENTINEL} end kernel"
+
+
+@dataclass(frozen=True)
+class AccParallelLoop(AccDirective):
+    """``!$acc parallel loop [gang] [worker] [num_workers(n)] [vector_length(n)]``."""
+
+    gang: bool = True
+    worker: bool = False
+    num_workers: int | None = None
+    vector_length: int | None = None
+    reduction: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_workers is not None and self.num_workers < 1:
+            raise DirectiveParseError("num_workers must be >= 1")
+        if self.vector_length is not None and self.vector_length < 1:
+            raise DirectiveParseError("vector_length must be >= 1")
+
+    def to_pragma(self) -> str:
+        parts = [f"{_SENTINEL} parallel loop"]
+        if self.gang:
+            parts.append("gang")
+        if self.worker:
+            parts.append("worker")
+        if self.num_workers is not None:
+            parts.append(f"num_workers({self.num_workers})")
+        if self.vector_length is not None:
+            parts.append(f"vector_length({self.vector_length})")
+        if self.reduction:
+            parts.append(f"reduction(+:{','.join(self.reduction)})")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class AccLoop(AccDirective):
+    """``!$acc loop [vector] [reduction(+:...)]`` — the inner-loop directive."""
+
+    vector: bool = True
+    reduction: tuple[str, ...] = ()
+
+    def to_pragma(self) -> str:
+        parts = [f"{_SENTINEL} loop"]
+        if self.vector:
+            parts.append("vector")
+        if self.reduction:
+            parts.append(f"reduction(+:{','.join(self.reduction)})")
+        return " ".join(parts)
+
+
+_CLAUSE_RE = re.compile(r"(num_workers|vector_length)\((\d+)\)")
+_REDUCTION_RE = re.compile(r"reduction\(\+:([\w,\s]+)\)")
+
+
+def parse_acc(pragma: str) -> AccDirective:
+    """Parse a pragma string back into a directive object.
+
+    Round-trips with ``to_pragma`` (property-tested).  Raises
+    :class:`DirectiveParseError` on anything that is not an OpenACC pragma
+    of the forms used in the paper.
+    """
+    text = " ".join(pragma.strip().split())
+    low = text.lower()
+    if not low.startswith(_SENTINEL):
+        raise DirectiveParseError(f"not an OpenACC pragma: {pragma!r}")
+    body = low[len(_SENTINEL) :].strip()
+    if body in ("kernel", "kernels"):
+        return AccKernels()
+    if body in ("end kernel", "end kernels"):
+        return AccEndKernels()
+    reduction: tuple[str, ...] = ()
+    m = _REDUCTION_RE.search(body)
+    if m:
+        reduction = tuple(v.strip() for v in m.group(1).split(",") if v.strip())
+        body_wo = _REDUCTION_RE.sub("", body)
+    else:
+        body_wo = body
+    clauses = dict((k, int(v)) for k, v in _CLAUSE_RE.findall(body_wo))
+    body_wo = _CLAUSE_RE.sub("", body_wo)
+    tokens = body_wo.split()
+    if tokens[:2] == ["parallel", "loop"]:
+        rest = set(tokens[2:])
+        unknown = rest - {"gang", "worker", "vector"}
+        if unknown:
+            raise DirectiveParseError(f"unknown OpenACC clauses {sorted(unknown)} in {pragma!r}")
+        return AccParallelLoop(
+            gang="gang" in rest,
+            worker="worker" in rest,
+            num_workers=clauses.get("num_workers"),
+            vector_length=clauses.get("vector_length"),
+            reduction=reduction,
+        )
+    if tokens[:1] == ["loop"]:
+        rest = set(tokens[1:])
+        unknown = rest - {"vector"}
+        if unknown:
+            raise DirectiveParseError(f"unknown OpenACC clauses {sorted(unknown)} in {pragma!r}")
+        return AccLoop(vector="vector" in rest, reduction=reduction)
+    raise DirectiveParseError(f"unrecognised OpenACC pragma: {pragma!r}")

@@ -1,0 +1,77 @@
+"""OpenACC <-> OpenMP directive translation.
+
+Section 5.2 of the paper stresses that its Tables 4 and 5 "map precisely"
+so readers can translate between the models.  This module encodes that
+mapping:
+
+=====================================  =============================================
+OpenACC                                OpenMP
+=====================================  =============================================
+``!$acc kernel``                       ``!$omp target teams distribute parallel do
+                                       collapse(2)``
+``!$acc parallel loop gang worker``    ``!$omp target teams distribute reduction``
+``!$acc loop vector reduction``        ``!$omp parallel do reduction collapse(2)``
+=====================================  =============================================
+
+The inverse direction is defined so that a round trip returns a directive
+with the same offload semantics (clause parameters that have no analog —
+``num_workers`` / ``vector_length`` — are dropped, as the paper notes these
+are accelerator-specific tuning knobs).
+"""
+
+from __future__ import annotations
+
+from repro.directives.openacc import (
+    AccDirective,
+    AccEndKernels,
+    AccKernels,
+    AccLoop,
+    AccParallelLoop,
+)
+from repro.directives.openmp import (
+    OmpDirective,
+    OmpEndTargetData,
+    OmpLoop,
+    OmpParallelDo,
+    OmpTargetData,
+    OmpTargetTeamsDistribute,
+)
+from repro.errors import TranslationError
+
+__all__ = ["acc_to_omp", "omp_to_acc"]
+
+
+def acc_to_omp(directive: AccDirective) -> OmpDirective | None:
+    """Translate one OpenACC directive to its OpenMP-target counterpart.
+
+    ``!$acc end kernel`` has no OpenMP analog (the fused ``parallel do``
+    form needs no end marker) and maps to ``None``.
+    """
+    if isinstance(directive, AccKernels):
+        return OmpTargetTeamsDistribute(parallel_do=True, collapse=2)
+    if isinstance(directive, AccEndKernels):
+        return None
+    if isinstance(directive, AccParallelLoop):
+        return OmpTargetTeamsDistribute(
+            parallel_do=False, reduction=directive.reduction
+        )
+    if isinstance(directive, AccLoop):
+        return OmpParallelDo(reduction=directive.reduction, collapse=2)
+    raise TranslationError(f"no OpenMP mapping for {type(directive).__name__}")
+
+
+def omp_to_acc(directive: OmpDirective) -> AccDirective | None:
+    """Translate one OpenMP directive back to OpenACC.
+
+    Data-region directives map to ``None``: the OpenACC ports in the paper
+    rely on unified memory and carry no explicit data clauses.
+    """
+    if isinstance(directive, OmpTargetTeamsDistribute):
+        if directive.parallel_do:
+            return AccKernels()
+        return AccParallelLoop(gang=True, worker=True, reduction=directive.reduction)
+    if isinstance(directive, OmpParallelDo):
+        return AccLoop(vector=True, reduction=directive.reduction)
+    if isinstance(directive, (OmpTargetData, OmpEndTargetData, OmpLoop)):
+        return None
+    raise TranslationError(f"no OpenACC mapping for {type(directive).__name__}")

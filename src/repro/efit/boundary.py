@@ -1,0 +1,200 @@
+"""Magnetic axis and plasma-boundary location (the ``steps_`` subroutine).
+
+After every ``pflux_`` solve, EFIT must (1) find the magnetic axis — the
+extremum of ``psi`` inside the limiter, (2) decide the boundary flux
+``psi_b`` — either the flux at the limiter contact point or at an X-point
+(saddle of ``psi``), whichever bounds the smaller plasma, (3) build the
+normalised flux ``psiN = (psi - psi_axis)/(psi_b - psi_axis)`` and the
+in-plasma mask used by ``current_``.
+
+The mask keeps only the cells *connected to the axis* through ``psiN < 1``
+territory, excluding private-flux regions below an X-point, via a
+connected-component labelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro.efit.grid import RZGrid
+from repro.efit.machine import Limiter
+from repro.errors import BoundaryError
+
+__all__ = ["BoundaryResult", "find_axis", "find_xpoints", "find_boundary"]
+
+
+@dataclass(frozen=True)
+class BoundaryResult:
+    """Everything ``steps_`` produces for one Picard iterate."""
+
+    psi_axis: float
+    r_axis: float
+    z_axis: float
+    psi_boundary: float
+    boundary_type: str  # "limiter" or "xpoint"
+    psin: np.ndarray  # (nw, nh) normalised flux
+    mask: np.ndarray  # (nw, nh) bool, True inside the plasma
+    r_xpoint: float | None = None
+    z_xpoint: float | None = None
+
+    @property
+    def plasma_volume_cells(self) -> int:
+        return int(self.mask.sum())
+
+
+def _quadratic_refine(grid: RZGrid, field: np.ndarray, i: int, j: int) -> tuple[float, float, float]:
+    """Refine a grid extremum with a 2-D quadratic fit on the 3x3 stencil.
+
+    Returns ``(r, z, value)``; falls back to the node itself when the
+    stencil is degenerate or the correction leaves the cell.
+    """
+    f = field
+    fx = (f[i + 1, j] - f[i - 1, j]) / 2.0
+    fy = (f[i, j + 1] - f[i, j - 1]) / 2.0
+    fxx = f[i + 1, j] - 2.0 * f[i, j] + f[i - 1, j]
+    fyy = f[i, j + 1] - 2.0 * f[i, j] + f[i, j - 1]
+    fxy = (f[i + 1, j + 1] - f[i + 1, j - 1] - f[i - 1, j + 1] + f[i - 1, j - 1]) / 4.0
+    det = fxx * fyy - fxy * fxy
+    if abs(det) < 1e-300:
+        return float(grid.r[i]), float(grid.z[j]), float(f[i, j])
+    dx = -(fyy * fx - fxy * fy) / det
+    dy = -(fxx * fy - fxy * fx) / det
+    if abs(dx) > 1.0 or abs(dy) > 1.0:
+        return float(grid.r[i]), float(grid.z[j]), float(f[i, j])
+    value = f[i, j] + 0.5 * (fx * dx + fy * dy)
+    return (
+        float(grid.r[i] + dx * grid.dr),
+        float(grid.z[j] + dy * grid.dz),
+        float(value),
+    )
+
+
+def find_axis(grid: RZGrid, psi: np.ndarray, limiter: Limiter, sign: int = 1) -> tuple[float, float, float]:
+    """Locate the magnetic axis: the extremum of ``sign * psi`` inside the
+    limiter.  Returns ``(r_axis, z_axis, psi_axis)``."""
+    if sign not in (1, -1):
+        raise BoundaryError("axis sign must be +1 or -1")
+    inside = limiter.contains(grid.rr, grid.zz)
+    if not inside.any():
+        raise BoundaryError("limiter does not intersect the computational grid")
+    work = np.where(inside, sign * psi, -np.inf)
+    # Exclude the outer ring so the quadratic refinement has a full stencil.
+    work[0, :] = work[-1, :] = -np.inf
+    work[:, 0] = work[:, -1] = -np.inf
+    i, j = np.unravel_index(int(np.argmax(work)), work.shape)
+    if not np.isfinite(work[i, j]):
+        raise BoundaryError("no interior extremum found inside the limiter")
+    r_axis, z_axis, value = _quadratic_refine(grid, sign * psi, i, j)
+    return r_axis, z_axis, sign * value
+
+
+def find_xpoints(
+    grid: RZGrid, psi: np.ndarray, *, max_points: int = 2
+) -> list[tuple[float, float, float]]:
+    """Find saddle points of ``psi`` (X-point candidates).
+
+    Scans interior nodes for local minima of ``|grad psi|^2`` whose Hessian
+    has negative determinant, refines each with the quadratic model, and
+    returns up to ``max_points`` candidates as ``(r, z, psi_x)`` sorted by
+    gradient magnitude.
+    """
+    dpsi_dr = np.gradient(psi, grid.dr, axis=0)
+    dpsi_dz = np.gradient(psi, grid.dz, axis=1)
+    grad2 = dpsi_dr**2 + dpsi_dz**2
+    candidates: list[tuple[float, float, float, float]] = []
+    interior = grad2[1:-1, 1:-1]
+    # Local minima of |grad psi|^2 over the 3x3 neighbourhood.
+    neigh_min = ndimage.minimum_filter(grad2, size=3)[1:-1, 1:-1]
+    is_min = interior <= neigh_min
+    idx_i, idx_j = np.nonzero(is_min)
+    for ii, jj in zip(idx_i + 1, idx_j + 1):
+        f = psi
+        fxx = f[ii + 1, jj] - 2 * f[ii, jj] + f[ii - 1, jj]
+        fyy = f[ii, jj + 1] - 2 * f[ii, jj] + f[ii, jj - 1]
+        fxy = (
+            f[ii + 1, jj + 1] - f[ii + 1, jj - 1] - f[ii - 1, jj + 1] + f[ii - 1, jj - 1]
+        ) / 4.0
+        if fxx * fyy - fxy * fxy >= 0.0:
+            continue  # not a saddle
+        r_x, z_x, psi_x = _quadratic_refine(grid, psi, ii, jj)
+        candidates.append((grad2[ii, jj], r_x, z_x, psi_x))
+    candidates.sort(key=lambda c: c[0])
+    return [(r, z, p) for _, r, z, p in candidates[:max_points]]
+
+
+def find_boundary(
+    grid: RZGrid,
+    psi: np.ndarray,
+    limiter: Limiter,
+    *,
+    sign: int = 1,
+    n_limiter_samples: int = 4,
+) -> BoundaryResult:
+    """Full ``steps_`` boundary determination.
+
+    ``sign`` is the plasma-current sign convention: +1 means ``psi`` has a
+    maximum on the axis (so ``psi`` decreases outward).
+    """
+    psi = np.asarray(psi, dtype=float)
+    if psi.shape != grid.shape:
+        raise BoundaryError(f"psi shape {psi.shape} != grid {grid.shape}")
+    r_axis, z_axis, psi_axis = find_axis(grid, psi, limiter, sign)
+
+    # Limiter candidate: the flux value where a shrinking contour first
+    # touches the wall = extremal psi along the limiter contour.
+    lr, lz = limiter.sample_points(n_limiter_samples)
+    keep = grid.contains(lr, lz)
+    if not keep.any():
+        raise BoundaryError("no limiter samples inside the computational box")
+    psi_wall = grid.bilinear(psi, lr[keep], lz[keep])
+    psi_lim = float(np.max(sign * psi_wall))
+
+    # X-point candidates: must lie inside the box, away from the axis, and
+    # bound a *smaller* plasma than the limiter (larger sign*psi).
+    psi_b = psi_lim
+    boundary_type = "limiter"
+    r_x = z_x = None
+    for rx, zx, px in find_xpoints(grid, psi):
+        if not bool(grid.contains(rx, zx)):
+            continue
+        if np.hypot(rx - r_axis, zx - z_axis) < 4.0 * max(grid.dr, grid.dz):
+            continue
+        spx = sign * px
+        if psi_lim < spx < sign * psi_axis:
+            psi_b = spx
+            boundary_type = "xpoint"
+            r_x, z_x = rx, zx
+    psi_boundary = sign * psi_b
+
+    denom = psi_boundary - psi_axis
+    if denom == 0.0:
+        raise BoundaryError("degenerate flux range: psi_axis == psi_boundary")
+    psin = (psi - psi_axis) / denom
+
+    inside_lim = limiter.contains(grid.rr, grid.zz)
+    candidate = (psin < 1.0) & inside_lim
+    # Keep only the component connected to the axis (drop private flux).
+    labels, _ = ndimage.label(candidate)
+    i_ax = int(round((r_axis - grid.rmin) / grid.dr))
+    j_ax = int(round((z_axis - grid.zmin) / grid.dz))
+    i_ax = min(max(i_ax, 0), grid.nw - 1)
+    j_ax = min(max(j_ax, 0), grid.nh - 1)
+    axis_label = labels[i_ax, j_ax]
+    if axis_label == 0:
+        raise BoundaryError("magnetic axis not inside its own plasma mask")
+    mask = labels == axis_label
+
+    return BoundaryResult(
+        psi_axis=psi_axis,
+        r_axis=r_axis,
+        z_axis=z_axis,
+        psi_boundary=psi_boundary,
+        boundary_type=boundary_type,
+        psin=psin,
+        mask=mask,
+        r_xpoint=r_x,
+        z_xpoint=z_x,
+    )

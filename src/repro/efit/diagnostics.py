@@ -1,0 +1,266 @@
+"""Magnetic diagnostics and their response functions.
+
+EFIT fits the plasma current to external magnetic data: poloidal flux
+loops, poloidal-field (Mirnov) probes, and a full Rogowski coil measuring
+the total plasma current.  Each diagnostic is linear in every current
+source, so its *response function* — the Green function evaluated from the
+diagnostic to each grid node and each PF coil — fully describes it.
+:class:`DiagnosticSet` assembles those response matrices once per grid
+(part of the ``green_`` setup) and the fit reuses them every iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.efit.greens import greens_br, greens_bz, greens_psi
+from repro.efit.grid import RZGrid
+from repro.efit.machine import Tokamak
+from repro.errors import MeasurementError
+
+__all__ = ["FluxLoop", "MagneticProbe", "RogowskiCoil", "DiagnosticSet"]
+
+
+@dataclass(frozen=True)
+class FluxLoop:
+    """A toroidal flux loop measuring poloidal flux per radian at (r, z)."""
+
+    name: str
+    r: float
+    z: float
+
+    def __post_init__(self) -> None:
+        if self.r <= 0.0:
+            raise MeasurementError(f"flux loop {self.name} at R <= 0")
+
+    def response_to_grid(self, grid: RZGrid) -> np.ndarray:
+        """Flux per ampere at each grid node, shape ``(nw, nh)``."""
+        return greens_psi(self.r, self.z, grid.rr, grid.zz)
+
+    def response_to_coils(self, machine: Tokamak) -> np.ndarray:
+        return np.array([c.psi_at(np.asarray(self.r), np.asarray(self.z)) for c in machine.coils])
+
+
+@dataclass(frozen=True)
+class MagneticProbe:
+    """A local B-field probe at (r, z) oriented ``angle`` radians from the
+    R axis in the poloidal plane; measures ``Br cos(a) + Bz sin(a)``."""
+
+    name: str
+    r: float
+    z: float
+    angle: float
+
+    def __post_init__(self) -> None:
+        if self.r <= 0.0:
+            raise MeasurementError(f"probe {self.name} at R <= 0")
+
+    def response_to_grid(self, grid: RZGrid) -> np.ndarray:
+        br = greens_br(self.r, self.z, grid.rr, grid.zz)
+        bz = greens_bz(self.r, self.z, grid.rr, grid.zz)
+        return np.cos(self.angle) * br + np.sin(self.angle) * bz
+
+    def response_to_coils(self, machine: Tokamak) -> np.ndarray:
+        out = np.empty(machine.n_coils)
+        for k, coil in enumerate(machine.coils):
+            br = coil.br_at(np.asarray(self.r), np.asarray(self.z))
+            bz = coil.bz_at(np.asarray(self.r), np.asarray(self.z))
+            out[k] = np.cos(self.angle) * br + np.sin(self.angle) * bz
+        return out
+
+
+@dataclass(frozen=True)
+class MSEChannel:
+    """A motional-Stark-effect pitch-angle channel.
+
+    MSE polarimetry views a neutral beam and measures the local magnetic
+    pitch ``tan(gamma) = B_z / B_phi`` *inside* the plasma — the internal
+    constraint that breaks the ``p'``/``FF'`` degeneracy external
+    magnetics leave (the "kinetic EFIT" upgrade of Lao 2022, the EFIT-AI
+    paper this work belongs to).  With the vacuum toroidal field
+    approximation ``B_phi = F_vac / R`` the measurement is linear in every
+    poloidal current source: ``tan(gamma) = B_z R / F_vac``.
+    """
+
+    name: str
+    r: float
+    z: float
+    #: Vacuum ``F = R B_phi`` used to normalise the pitch [T m].
+    f_vacuum: float
+
+    def __post_init__(self) -> None:
+        if self.r <= 0.0:
+            raise MeasurementError(f"MSE channel {self.name} at R <= 0")
+        if self.f_vacuum == 0.0:
+            raise MeasurementError(f"MSE channel {self.name}: zero vacuum field")
+
+    def response_to_grid(self, grid: RZGrid) -> np.ndarray:
+        bz = greens_bz(self.r, self.z, grid.rr, grid.zz)
+        return bz * self.r / self.f_vacuum
+
+    def response_to_coils(self, machine: Tokamak) -> np.ndarray:
+        out = np.empty(machine.n_coils)
+        for k, coil in enumerate(machine.coils):
+            out[k] = coil.bz_at(np.asarray(self.r), np.asarray(self.z)) * self.r / self.f_vacuum
+        return out
+
+
+@dataclass(frozen=True)
+class RogowskiCoil:
+    """A full Rogowski loop: measures the total enclosed plasma current."""
+
+    name: str = "IP"
+
+    def response_to_grid(self, grid: RZGrid) -> np.ndarray:
+        return np.ones(grid.shape)
+
+    def response_to_coils(self, machine: Tokamak) -> np.ndarray:
+        # The plasma Rogowski excludes the PF coils by construction.
+        return np.zeros(machine.n_coils)
+
+
+@dataclass(frozen=True)
+class DiagnosticSet:
+    """The full diagnostic complement of a machine.
+
+    Row ordering everywhere: flux loops, probes, MSE channels (optional),
+    Rogowski last (so ``values[-1]`` is always the plasma current).
+    """
+
+    flux_loops: tuple[FluxLoop, ...]
+    probes: tuple[MagneticProbe, ...]
+    rogowski: RogowskiCoil
+    mse: tuple[MSEChannel, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = (
+            [d.name for d in self.flux_loops]
+            + [d.name for d in self.probes]
+            + [d.name for d in self.mse]
+        )
+        if len(set(names)) != len(names):
+            raise MeasurementError("duplicate diagnostic names")
+
+    @property
+    def n_measurements(self) -> int:
+        """Flux loops + probes + MSE + Rogowski."""
+        return len(self.flux_loops) + len(self.probes) + len(self.mse) + 1
+
+    @property
+    def names(self) -> list[str]:
+        return (
+            [d.name for d in self.flux_loops]
+            + [d.name for d in self.probes]
+            + [d.name for d in self.mse]
+            + [self.rogowski.name]
+        )
+
+    def _ordered(self):
+        return list(self.flux_loops) + list(self.probes) + list(self.mse) + [self.rogowski]
+
+    def response_to_grid(self, grid: RZGrid) -> np.ndarray:
+        """Stacked grid response matrix, shape ``(n_measurements, nw*nh)``."""
+        rows = np.empty((self.n_measurements, grid.size))
+        for i, diag in enumerate(self._ordered()):
+            rows[i] = grid.flatten(diag.response_to_grid(grid))
+        return rows
+
+    def response_to_coils(self, machine: Tokamak) -> np.ndarray:
+        """Stacked coil response matrix, shape ``(n_measurements, n_coils)``."""
+        rows = np.empty((self.n_measurements, machine.n_coils))
+        for i, diag in enumerate(self._ordered()):
+            rows[i] = diag.response_to_coils(machine)
+        return rows
+
+    def response_to_vessel(self, machine: Tokamak) -> np.ndarray:
+        """Response to unit vessel-segment currents,
+        shape ``(n_measurements, n_vessel)``.
+
+        Vessel segments are single filaments, so each diagnostic's
+        response is its grid Green function evaluated at the segment
+        (flux loops see psi, probes see the projected field, the Rogowski
+        sees nothing — vessel currents flow outside the plasma contour,
+        MSE sees the normalised Bz)."""
+        from repro.efit.greens import greens_br, greens_bz, greens_psi
+
+        rows = np.zeros((self.n_measurements, machine.n_vessel))
+        for j, seg in enumerate(machine.vessel):
+            i = 0
+            for loop in self.flux_loops:
+                rows[i, j] = greens_psi(loop.r, loop.z, seg.r, seg.z)
+                i += 1
+            for probe in self.probes:
+                br = greens_br(probe.r, probe.z, seg.r, seg.z)
+                bz = greens_bz(probe.r, probe.z, seg.r, seg.z)
+                rows[i, j] = np.cos(probe.angle) * br + np.sin(probe.angle) * bz
+                i += 1
+            for ch in self.mse:
+                rows[i, j] = greens_bz(ch.r, ch.z, seg.r, seg.z) * ch.r / ch.f_vacuum
+                i += 1
+            rows[i, j] = 0.0  # Rogowski: plasma current only
+        return rows
+
+    @classmethod
+    def for_machine(
+        cls,
+        machine: Tokamak,
+        *,
+        n_flux_loops: int = 40,
+        n_probes: int = 60,
+        n_mse: int = 0,
+        standoff: float = 1.12,
+    ) -> "DiagnosticSet":
+        """Place diagnostics on a contour ``standoff`` times the limiter.
+
+        Flux loops and probes are spread uniformly in poloidal angle on a
+        scaled copy of the limiter (just outside the plasma, inside the
+        vessel) — the usual arrangement.  Probe orientations alternate
+        between tangential and normal, as on DIII-D.  ``n_mse`` channels,
+        if requested, view the outboard midplane (the DIII-D beam line).
+        """
+        if n_flux_loops < 4 or n_probes < 4:
+            raise MeasurementError("too few diagnostics to constrain a fit")
+        lr, lz = machine.limiter.r, machine.limiter.z
+        r0 = float(lr.mean())
+        z0 = float(lz.mean())
+
+        def ring(n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+            theta = np.linspace(0.0, 2.0 * np.pi, n, endpoint=False)
+            # Scale the limiter about its centroid.
+            a = np.interp(
+                theta,
+                np.arctan2(lz - z0, lr - r0) % (2 * np.pi),
+                np.hypot(lr - r0, lz - z0),
+                period=2 * np.pi,
+            )
+            rr = r0 + standoff * a * np.cos(theta)
+            zz = z0 + standoff * a * np.sin(theta)
+            return rr, zz, theta
+
+        fr, fz, _ = ring(n_flux_loops)
+        loops = tuple(
+            FluxLoop(f"PSF{i:03d}", float(r), float(z)) for i, (r, z) in enumerate(zip(fr, fz))
+        )
+        pr, pz, ptheta = ring(n_probes)
+        probes = []
+        for i, (r, z, th) in enumerate(zip(pr, pz, ptheta)):
+            # Tangential to the ring for even i, normal for odd i.
+            angle = th + (np.pi / 2.0 if i % 2 == 0 else 0.0)
+            probes.append(MagneticProbe(f"MPI{i:03d}", float(r), float(z), float(angle)))
+        mse: list[MSEChannel] = []
+        if n_mse:
+            # Outboard midplane chord from near the axis to near the wall.
+            r_lim_out = float(lr.max())
+            r_axis = r0
+            radii = np.linspace(r_axis + 0.05, 0.98 * r_lim_out, n_mse)
+            for i, r in enumerate(radii):
+                mse.append(MSEChannel(f"MSE{i:03d}", float(r), 0.0, machine.f_vacuum))
+        return cls(
+            flux_loops=loops,
+            probes=tuple(probes),
+            rogowski=RogowskiCoil(),
+            mse=tuple(mse),
+        )

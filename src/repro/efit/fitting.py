@@ -1,0 +1,366 @@
+"""The ``fit_`` driver: EFIT's Picard equilibrium-reconstruction loop.
+
+One ``fit_`` invocation performs a single Picard iterate built from the
+paper's four subroutines (Section 2):
+
+* ``steps_``   — axis/boundary search, normalised flux, convergence check;
+* ``current_`` — basis current distribution on the grid;
+* ``green_``   — response-matrix assembly and the weighted linear fit;
+* ``pflux_``   — the flux solve (boundary Green sums + interior solve).
+
+:class:`EfitSolver` repeats invocations until the maximum flux change
+between iterates, normalised by the flux span, drops below ``tol``
+(``eps < 1e-5`` in the paper).  Every region is timed through a
+:class:`~repro.profiling.regions.RegionProfiler`, which is how the Figure 1
+and Figure 6 pie charts are produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.efit.boundary import BoundaryResult, find_boundary
+from repro.efit.basis import PolynomialBasis
+from repro.efit.current import basis_current_matrix
+from repro.efit.diagnostics import DiagnosticSet
+from repro.efit.greens import greens_psi
+from repro.efit.grid import RZGrid
+from repro.efit.machine import Tokamak
+from repro.efit.measurements import MeasurementSet
+from repro.efit.pflux import PfluxBase, PfluxReference, PfluxVectorized
+from repro.efit.profiles import ProfileCoefficients
+from repro.efit.response import assemble_response, chi_squared, solve_weighted_lsq
+from repro.efit.solvers import make_solver
+from repro.efit.tables import cached_boundary_tables
+from repro.errors import ConvergenceError, FittingError
+from repro.profiling.regions import RegionProfiler
+
+__all__ = ["EfitSolver", "FitResult", "FitIterationRecord"]
+
+
+@dataclass(frozen=True)
+class FitIterationRecord:
+    """Per-iteration diagnostics of the Picard loop."""
+
+    iteration: int
+    residual: float
+    psi_axis: float
+    psi_boundary: float
+    chi2: float
+    coefficients: np.ndarray
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """A converged (or halted) reconstruction."""
+
+    psi: np.ndarray
+    pcurr: np.ndarray
+    profiles: ProfileCoefficients
+    boundary: BoundaryResult
+    converged: bool
+    iterations: int
+    residual: float
+    chi2: float
+    history: tuple[FitIterationRecord, ...] = field(default_factory=tuple)
+    #: Fitted vessel eddy currents [A] (None when not fitted).
+    vessel_currents: np.ndarray | None = None
+
+    @property
+    def ip(self) -> float:
+        """Total reconstructed plasma current [A]."""
+        return float(self.pcurr.sum())
+
+
+class EfitSolver:
+    """Equilibrium reconstruction on a fixed machine + grid.
+
+    Construction performs the one-time ``green_`` setup (boundary tables,
+    diagnostic response matrices, interior-solver factorisation);
+    :meth:`fit` then reconstructs any number of time slices.
+
+    Parameters
+    ----------
+    pflux_impl:
+        ``"vectorized"`` (default), ``"reference"`` (the pure-loop baseline
+        — slow, small grids only), or any ready-made
+        :class:`~repro.efit.pflux.PfluxBase` instance (the GPU-offloaded
+        variants from :mod:`repro.core.offload` plug in here).
+    profiler:
+        Optional :class:`RegionProfiler`; regions ``steps_``, ``current_``,
+        ``green_``, ``pflux_`` and ``other`` accumulate per ``fit_``
+        invocation.
+    """
+
+    def __init__(
+        self,
+        machine: Tokamak,
+        diagnostics: DiagnosticSet,
+        grid: RZGrid,
+        *,
+        pp_basis: PolynomialBasis | None = None,
+        ffp_basis: PolynomialBasis | None = None,
+        solver_name: str = "dst",
+        pflux_impl: str | PfluxBase = "vectorized",
+        tol: float = 1e-5,
+        max_iters: int = 100,
+        relax: float = 1.0,
+        relax_current: float = 0.5,
+        n_warmup: int = 8,
+        fitdelz: bool = True,
+        fit_vessel: bool = False,
+        ridge: float = 1e-10,
+        profiler: RegionProfiler | None = None,
+    ) -> None:
+        if not (0.0 < relax <= 1.0):
+            raise FittingError(f"relaxation parameter {relax} outside (0, 1]")
+        if not (0.0 < relax_current <= 1.0):
+            raise FittingError(f"current relaxation {relax_current} outside (0, 1]")
+        if tol <= 0.0:
+            raise FittingError("tolerance must be positive")
+        self.machine = machine
+        self.diagnostics = diagnostics
+        self.grid = grid
+        self.pp_basis = pp_basis if pp_basis is not None else PolynomialBasis(2)
+        self.ffp_basis = ffp_basis if ffp_basis is not None else PolynomialBasis(2)
+        self.tol = tol
+        self.max_iters = max_iters
+        self.relax = relax
+        self.relax_current = relax_current
+        if n_warmup < 0:
+            raise FittingError("n_warmup must be >= 0")
+        self.n_warmup = n_warmup
+        self.fitdelz = fitdelz
+        self.ridge = ridge
+        self.profiler = profiler if profiler is not None else RegionProfiler()
+
+        # --- one-time green_ setup -------------------------------------------
+        self.tables = cached_boundary_tables(grid)
+        self.solver = make_solver(solver_name, grid)
+        if isinstance(pflux_impl, PfluxBase):
+            self.pflux = pflux_impl
+        elif pflux_impl == "vectorized":
+            self.pflux = PfluxVectorized(grid, self.tables, self.solver)
+        elif pflux_impl == "reference":
+            self.pflux = PfluxReference(grid, self.tables, self.solver)
+        else:
+            raise FittingError(f"unknown pflux implementation {pflux_impl!r}")
+        self.grid_response = diagnostics.response_to_grid(grid)
+        self.coil_response = diagnostics.response_to_coils(machine)
+        #: Vessel eddy-current fitting (production EFIT's VESSEL option):
+        #: adds one unknown current per wall segment to the linear fit.
+        self.fit_vessel = fit_vessel and machine.n_vessel > 0
+        if fit_vessel and machine.n_vessel == 0:
+            raise FittingError("fit_vessel requested but the machine has no vessel segments")
+        if self.fit_vessel:
+            self.vessel_response = diagnostics.response_to_vessel(machine)
+            self.vessel_flux_tables = machine.vessel_flux_tables(grid)
+
+    # -- helpers ------------------------------------------------------------------
+    def _shift_z(self, field: np.ndarray, delz: float) -> np.ndarray:
+        """Shift a grid field vertically by ``delz`` metres (linear
+        interpolation, zero fill) — ``f_new(z) = f(z - delz)``."""
+        grid = self.grid
+        s = delz / grid.dz
+        j = np.arange(grid.nh)
+        j_src = j - s
+        j0 = np.clip(np.floor(j_src).astype(int), 0, grid.nh - 1)
+        j1 = np.clip(j0 + 1, 0, grid.nh - 1)
+        frac = np.clip(j_src - j0, 0.0, 1.0)
+        valid = (j_src >= 0.0) & (j_src <= grid.nh - 1)
+        out = field[:, j0] * (1.0 - frac) + field[:, j1] * frac
+        out[:, ~valid] = 0.0
+        return out
+
+    def _fit_delz(
+        self,
+        pcurr: np.ndarray,
+        assembly,
+        extra_prediction: np.ndarray | None = None,
+    ) -> float:
+        """EFIT's ``fitdelz``: the rigid vertical shift of the current
+        distribution that best reduces the measurement residual.
+
+        A one-parameter weighted least squares on top of the profile fit:
+        ``delz = <w^2 u r> / <w^2 u u>`` with ``u`` the measurement
+        response to ``d(pcurr)/dz`` and ``r`` the residual after the
+        profile fit.  This is the vertical-stability feedback that keeps
+        the Picard loop on the measured plasma position.
+        """
+        grid = self.grid
+        dpc_dz = np.gradient(pcurr, grid.dz, axis=1)
+        u = self.grid_response @ grid.flatten(dpc_dz)
+        r = assembly.data - self.grid_response @ grid.flatten(pcurr)
+        if extra_prediction is not None:
+            r = r - extra_prediction
+        w2 = assembly.weights**2
+        denom = float(w2 @ (u * u))
+        if denom == 0.0:
+            return 0.0
+        # Taylor: pcurr(z - delz) ~ pcurr - delz * d(pcurr)/dz, so the
+        # physical shift to apply through _shift_z is the *negative* of the
+        # fitted Taylor coefficient.
+        delz = -float(w2 @ (u * r)) / denom
+        # Clamp to a few cells per iteration: the shift model is linear.
+        cap = 4.0 * grid.dz
+        return float(np.clip(delz, -cap, cap))
+
+    def _initial_psi(self, measurements: MeasurementSet) -> np.ndarray:
+        """Vacuum flux plus a filament estimate carrying the measured Ip."""
+        grid = self.grid
+        psi = self.machine.psi_from_coils(grid, measurements.coil_currents)
+        r0 = float(self.machine.limiter.r.mean())
+        rf = r0 + 0.37 * grid.dr
+        zf = 0.41 * grid.dz
+        return psi + measurements.ip * greens_psi(grid.rr, grid.zz, rf, zf)
+
+    # -- the fit -------------------------------------------------------------------
+    def fit(
+        self,
+        measurements: MeasurementSet,
+        *,
+        psi_initial: np.ndarray | None = None,
+        require_convergence: bool = True,
+    ) -> FitResult:
+        """Reconstruct one time slice.
+
+        Raises :class:`ConvergenceError` when the loop exhausts
+        ``max_iters`` without meeting ``tol`` (suppress with
+        ``require_convergence=False`` to inspect the partial result).
+        """
+        grid = self.grid
+        if measurements.n_measurements != self.diagnostics.n_measurements:
+            raise FittingError("measurement vector does not match the diagnostic set")
+        psi_external = self.machine.psi_from_coils(grid, measurements.coil_currents)
+        psi = np.asarray(psi_initial, dtype=float) if psi_initial is not None else self._initial_psi(measurements)
+        if psi.shape != grid.shape:
+            raise FittingError("initial psi shape mismatch")
+        if not np.all(np.isfinite(psi)):
+            raise FittingError("initial psi contains non-finite values")
+        sign = 1 if measurements.ip >= 0 else -1
+
+        history: list[FitIterationRecord] = []
+        converged = False
+        boundary: BoundaryResult | None = None
+        coeffs = np.zeros(self.pp_basis.n_terms + self.ffp_basis.n_terms)
+        vessel_i = np.zeros(self.machine.n_vessel) if self.fit_vessel else None
+        pcurr = np.zeros(grid.shape)
+        chi2 = np.inf
+        residual = np.inf
+
+        for iteration in range(1, self.max_iters + 1):
+            with self.profiler.region("fit_"):
+                with self.profiler.region("steps_"):
+                    boundary = find_boundary(grid, psi, self.machine.limiter, sign=sign)
+                with self.profiler.region("current_"):
+                    jmat = basis_current_matrix(
+                        grid, boundary.psin, boundary.mask, self.pp_basis, self.ffp_basis
+                    )
+                with self.profiler.region("green_"):
+                    assembly = assemble_response(
+                        self.grid_response,
+                        jmat,
+                        self.coil_response,
+                        measurements.coil_currents,
+                        measurements.values,
+                        measurements.uncertainties,
+                    )
+                    if iteration <= self.n_warmup:
+                        # Warm-up: a fixed peaked current shape rescaled to
+                        # the measured Ip (EFIT's initial parabolic
+                        # distribution) until the geometry is sane enough
+                        # for the least-squares step to be trustworthy.
+                        warm = np.zeros(coeffs.size)
+                        warm[self.pp_basis.n_terms] = 1.0
+                        if self.ffp_basis.n_terms > 1:
+                            warm[self.pp_basis.n_terms + 1] = -0.8
+                        total = float((jmat @ warm).sum())
+                        if total == 0.0:
+                            raise FittingError("warm-up current shape carries no current")
+                        coeffs = warm * (measurements.ip / total)
+                        chi2 = chi_squared(assembly, coeffs)
+                    elif self.fit_vessel:
+                        # Augment the linear system with one unknown per
+                        # vessel segment (EFIT's VESSEL fitting option).
+                        from repro.efit.response import ResponseAssembly
+
+                        aug = ResponseAssembly(
+                            np.hstack([assembly.matrix, self.vessel_response]),
+                            assembly.data,
+                            assembly.weights,
+                        )
+                        sol = solve_weighted_lsq(aug, ridge=self.ridge)
+                        n_prof = coeffs.size
+                        coeffs = (
+                            1.0 - self.relax_current
+                        ) * coeffs + self.relax_current * sol[:n_prof]
+                        vessel_i = (
+                            1.0 - self.relax_current
+                        ) * vessel_i + self.relax_current * sol[n_prof:]
+                        chi2 = chi_squared(aug, np.concatenate([coeffs, vessel_i]))
+                    else:
+                        coeffs_lsq = solve_weighted_lsq(assembly, ridge=self.ridge)
+                        # Damp the profile update: a full LSQ step against a
+                        # still-wrong geometry overdrives the current and the
+                        # Picard map loses contraction (EFIT's fitting
+                        # weights play the same stabilising role).
+                        coeffs = (
+                            1.0 - self.relax_current
+                        ) * coeffs + self.relax_current * coeffs_lsq
+                        chi2 = chi_squared(assembly, coeffs)
+                with self.profiler.region("current_"):
+                    pcurr = grid.unflatten(jmat @ coeffs)
+                    if self.fitdelz:
+                        vessel_pred = (
+                            self.vessel_response @ vessel_i if self.fit_vessel else None
+                        )
+                        delz = self._fit_delz(pcurr, assembly, vessel_pred)
+                        if delz != 0.0:
+                            pcurr = self._shift_z(pcurr, delz)
+                with self.profiler.region("pflux_"):
+                    psi_ext_iter = psi_external
+                    if self.fit_vessel:
+                        psi_ext_iter = psi_external + np.tensordot(
+                            vessel_i, self.vessel_flux_tables, axes=1
+                        )
+                    psi_new = self.pflux.compute(pcurr, psi_ext_iter)
+                with self.profiler.region("steps_"):
+                    span = float(np.ptp(psi_new))
+                    if span == 0.0:
+                        raise ConvergenceError("flat flux map during fit")
+                    residual = float(np.max(np.abs(psi_new - psi)) / span)
+                    psi = (1.0 - self.relax) * psi + self.relax * psi_new
+            history.append(
+                FitIterationRecord(
+                    iteration=iteration,
+                    residual=residual,
+                    psi_axis=boundary.psi_axis,
+                    psi_boundary=boundary.psi_boundary,
+                    chi2=chi2,
+                    coefficients=coeffs.copy(),
+                )
+            )
+            if residual < self.tol and iteration > self.n_warmup:
+                converged = True
+                break
+
+        if not converged and require_convergence:
+            raise ConvergenceError(
+                f"fit did not converge: residual {residual:.3e} > {self.tol:.1e} "
+                f"after {self.max_iters} iterations"
+            )
+        profiles = ProfileCoefficients.from_vector(self.pp_basis, self.ffp_basis, coeffs)
+        return FitResult(
+            psi=psi,
+            pcurr=pcurr,
+            profiles=profiles,
+            boundary=boundary,
+            converged=converged,
+            iterations=len(history),
+            residual=residual,
+            chi2=chi2,
+            history=tuple(history),
+            vessel_currents=vessel_i.copy() if vessel_i is not None else None,
+        )

@@ -1,0 +1,89 @@
+"""Global equilibrium parameters: beta_poloidal, internal inductance, W.
+
+The scalar physics outputs EFIT reports for every time slice (a-file
+columns), computed from the reconstructed fields by volume integration
+over the plasma mask:
+
+.. math::
+
+    \\beta_p = \\frac{2 \\mu_0 \\langle p \\rangle_V}{B_{pa}^2}, \\qquad
+    l_i = \\frac{\\langle B_p^2 \\rangle_V}{B_{pa}^2}, \\qquad
+    W = \\tfrac{3}{2} \\int p\\, dV
+
+with ``B_pa = mu0 Ip / L_p`` the average poloidal field on the
+last-closed-flux-surface of perimeter ``L_p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.efit.boundary import BoundaryResult
+from repro.efit.contours import trace_flux_surface
+from repro.efit.grid import RZGrid
+from repro.efit.profiles import ProfileCoefficients
+from repro.errors import BoundaryError
+from repro.utils.constants import MU0, TWO_PI
+
+__all__ = ["GlobalParameters", "compute_global_parameters"]
+
+
+@dataclass(frozen=True)
+class GlobalParameters:
+    """Scalar physics summary of one equilibrium."""
+
+    beta_poloidal: float
+    internal_inductance: float
+    stored_energy_joules: float
+    volume_m3: float
+    average_pressure_pa: float
+    bp_average_tesla: float
+    lcfs_perimeter_m: float
+
+
+def compute_global_parameters(
+    grid: RZGrid,
+    psi: np.ndarray,
+    boundary: BoundaryResult,
+    profiles: ProfileCoefficients,
+    ip: float,
+) -> GlobalParameters:
+    """Volume-integrate the reconstructed fields.
+
+    ``dV = 2 pi R dA`` per cell; the poloidal field is
+    ``B_p = |grad psi| / R`` (psi per radian).
+    """
+    if ip == 0.0:
+        raise BoundaryError("global parameters undefined for zero plasma current")
+    mask = boundary.mask
+    if not mask.any():
+        raise BoundaryError("empty plasma mask")
+
+    dv = TWO_PI * grid.rr * grid.cell_area
+    volume = float(dv[mask].sum())
+
+    psin = np.clip(boundary.psin, 0.0, 1.0)
+    pressure = profiles.pressure(psin, boundary.psi_axis, boundary.psi_boundary)
+    p_avg = float((pressure * dv)[mask].sum() / volume)
+    stored = 1.5 * float((pressure * dv)[mask].sum())
+
+    dpsi_dr = np.gradient(psi, grid.dr, axis=0)
+    dpsi_dz = np.gradient(psi, grid.dz, axis=1)
+    bp2 = (dpsi_dr**2 + dpsi_dz**2) / grid.rr**2
+    bp2_avg = float((bp2 * dv)[mask].sum() / volume)
+
+    lcfs = trace_flux_surface(grid, boundary, 0.995)
+    perimeter = lcfs.perimeter
+    bpa = MU0 * abs(ip) / perimeter
+
+    return GlobalParameters(
+        beta_poloidal=2.0 * MU0 * p_avg / bpa**2,
+        internal_inductance=bp2_avg / bpa**2,
+        stored_energy_joules=stored,
+        volume_m3=volume,
+        average_pressure_pa=p_avg,
+        bp_average_tesla=bpa,
+        lcfs_perimeter_m=perimeter,
+    )

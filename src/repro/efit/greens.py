@@ -1,0 +1,137 @@
+"""Green functions of the Grad-Shafranov operator: circular-filament fields.
+
+The free-space Green function of ``Delta*`` is the poloidal flux (per radian
+of toroidal angle) produced at an observation point ``(R, Z)`` by a unit
+toroidal current filament at ``(Rs, Zs)``:
+
+.. math::
+
+    G_\\psi(R, Z; R_s, Z_s) = \\frac{\\mu_0}{2\\pi} \\sqrt{R R_s}\\,
+        \\frac{(2 - k^2) K(k) - 2 E(k)}{k},
+    \\qquad
+    k^2 = \\frac{4 R R_s}{(R + R_s)^2 + (Z - Z_s)^2}
+
+with ``K``/``E`` the complete elliptic integrals.  EFIT builds all of its
+machinery on this: the boundary flux sums inside ``pflux_`` (the paper's
+O(N^3) kernel), the coil vacuum-flux tables, and every magnetic-diagnostic
+response function (``green_``).
+
+The magnetic-field kernels ``greens_br``/``greens_bz`` are the analytic
+derivatives (``Br = -psi_Z / R``, ``Bz = psi_R / R``) and are used for the
+magnetic-probe responses.
+
+All functions broadcast over NumPy arrays and are pure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import ellipe, ellipkm1
+
+from repro.errors import GreensError
+from repro.utils.constants import MU0, TWO_PI
+
+__all__ = [
+    "greens_psi",
+    "greens_br",
+    "greens_bz",
+    "mutual_inductance",
+    "self_flux_per_radian",
+]
+
+# Below this k'^2 = 1 - k^2 the filaments are effectively coincident and the
+# logarithmic singularity of K makes the point-filament formula meaningless.
+_COINCIDENT_KPRIME2 = 1e-14
+
+
+def _geometry(r, z, rs, zs):
+    """Common geometric factors, broadcast: returns (m, denom2) where
+    m = k^2 and denom2 = (R+Rs)^2 + (Z-Zs)^2."""
+    r = np.asarray(r, dtype=float)
+    z = np.asarray(z, dtype=float)
+    rs = np.asarray(rs, dtype=float)
+    zs = np.asarray(zs, dtype=float)
+    if np.any(r <= 0.0) or np.any(rs <= 0.0):
+        raise GreensError("filament Green functions require R > 0 on both ends")
+    denom2 = (r + rs) ** 2 + (z - zs) ** 2
+    m = 4.0 * r * rs / denom2
+    return r, z, rs, zs, m, denom2
+
+
+def greens_psi(r, z, rs, zs):
+    """Poloidal flux per radian at (r, z) from a unit filament at (rs, zs).
+
+    Returns Wb/rad per ampere.  Raises :class:`GreensError` for coincident
+    points — callers needing self terms use :func:`self_flux_per_radian`.
+    """
+    r, z, rs, zs, m, _ = _geometry(r, z, rs, zs)
+    mk = np.minimum(m, 1.0)  # guard rounding above 1
+    kprime2 = 1.0 - mk
+    if np.any(kprime2 < _COINCIDENT_KPRIME2):
+        raise GreensError("coincident filaments: use self_flux_per_radian for self terms")
+    k = np.sqrt(mk)
+    bigk = ellipkm1(kprime2)
+    bige = ellipe(mk)
+    return MU0 / TWO_PI * np.sqrt(r * rs) * ((2.0 - mk) * bigk - 2.0 * bige) / k
+
+
+def greens_br(r, z, rs, zs):
+    """Radial field Br at (r, z) from a unit filament at (rs, zs) [T/A].
+
+    ``Br = -(1/R) d(psi)/dZ``.  Vanishes on the midplane of the source and
+    as r -> 0.
+    """
+    r, z, rs, zs, m, denom2 = _geometry(r, z, rs, zs)
+    mk = np.minimum(m, 1.0)
+    kprime2 = 1.0 - mk
+    if np.any(kprime2 < _COINCIDENT_KPRIME2):
+        raise GreensError("coincident filaments in greens_br")
+    beta = np.sqrt(denom2)
+    alpha2 = (rs - r) ** 2 + (z - zs) ** 2
+    bigk = ellipkm1(kprime2)
+    bige = ellipe(mk)
+    num = (rs**2 + r**2 + (z - zs) ** 2) * bige / alpha2 - bigk
+    return MU0 / TWO_PI * (z - zs) / (r * beta) * num
+
+
+def greens_bz(r, z, rs, zs):
+    """Vertical field Bz at (r, z) from a unit filament at (rs, zs) [T/A].
+
+    ``Bz = (1/R) d(psi)/dR``.
+    """
+    r, z, rs, zs, m, denom2 = _geometry(r, z, rs, zs)
+    mk = np.minimum(m, 1.0)
+    kprime2 = 1.0 - mk
+    if np.any(kprime2 < _COINCIDENT_KPRIME2):
+        raise GreensError("coincident filaments in greens_bz")
+    beta = np.sqrt(denom2)
+    alpha2 = (rs - r) ** 2 + (z - zs) ** 2
+    bigk = ellipkm1(kprime2)
+    bige = ellipe(mk)
+    num = bigk + (rs**2 - r**2 - (z - zs) ** 2) * bige / alpha2
+    return MU0 / TWO_PI / beta * num
+
+
+def mutual_inductance(r, z, rs, zs):
+    """Mutual inductance between two coaxial circular filaments [H].
+
+    ``M = 2*pi * G_psi`` — the full flux linked per ampere.
+    """
+    return TWO_PI * greens_psi(r, z, rs, zs)
+
+
+def self_flux_per_radian(rs, minor_radius):
+    """Self flux per radian of a circular loop of wire radius ``minor_radius``.
+
+    Uses the uniform-current self-inductance ``L = mu0 R (ln(8R/a) - 7/4)``;
+    EFIT uses the same regularisation for grid-cell self terms, with an
+    effective filament radius derived from the cell area.
+    """
+    rs = np.asarray(rs, dtype=float)
+    a = np.asarray(minor_radius, dtype=float)
+    if np.any(rs <= 0.0):
+        raise GreensError("self flux requires R > 0")
+    if np.any(a <= 0.0) or np.any(a >= rs):
+        raise GreensError("minor radius must satisfy 0 < a < R")
+    inductance = MU0 * rs * (np.log(8.0 * rs / a) - 1.75)
+    return inductance / TWO_PI

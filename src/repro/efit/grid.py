@@ -1,0 +1,198 @@
+"""The rectangular (R, Z) computational grid.
+
+EFIT solves on a uniform rectangular mesh of ``nw`` radial by ``nh`` vertical
+points (65x65 ... 513x513 in the paper).  The Fortran code flattens 2-D
+fields column-major, ``kk = (i-1)*nh + j`` with ``i`` the R index and ``j``
+the Z index — the exact indexing visible in the paper's Figure 2/3 loop
+(``kkkk=(ii-1)*nh+jj``).  :class:`RZGrid` preserves that convention so our
+kernel implementations can be compared line-by-line against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import GridError
+
+__all__ = ["RZGrid", "PAPER_GRID_SIZES"]
+
+#: The four grid sizes evaluated in the paper.
+PAPER_GRID_SIZES: tuple[int, ...] = (65, 129, 257, 513)
+
+
+@dataclass(frozen=True)
+class RZGrid:
+    """A uniform rectangular grid over ``[rmin, rmax] x [zmin, zmax]``.
+
+    Parameters
+    ----------
+    nw, nh:
+        Number of radial (R) and vertical (Z) grid points, including the
+        boundary points.  Must each be >= 3.
+    rmin, rmax, zmin, zmax:
+        Domain extents in metres.  ``rmin`` must be positive: the
+        Grad-Shafranov operator ``Delta*`` is singular on the axis R=0.
+
+    Fields on this grid are stored as ``(nw, nh)`` arrays indexed
+    ``psi[i, j]`` with ``i`` along R and ``j`` along Z.  The Fortran
+    column-major flat index is ``kk = i*nh + j`` (0-based).
+    """
+
+    nw: int
+    nh: int
+    rmin: float = 0.84
+    rmax: float = 2.54
+    zmin: float = -1.60
+    zmax: float = 1.60
+
+    def __post_init__(self) -> None:
+        if self.nw < 3 or self.nh < 3:
+            raise GridError(f"grid must be at least 3x3, got {self.nw}x{self.nh}")
+        if self.rmin <= 0.0:
+            raise GridError(f"rmin must be positive (Delta* singular at R=0), got {self.rmin}")
+        if self.rmax <= self.rmin:
+            raise GridError(f"rmax ({self.rmax}) must exceed rmin ({self.rmin})")
+        if self.zmax <= self.zmin:
+            raise GridError(f"zmax ({self.zmax}) must exceed zmin ({self.zmin})")
+
+    # -- coordinates ---------------------------------------------------------
+    @cached_property
+    def r(self) -> np.ndarray:
+        """Radial node coordinates, shape ``(nw,)``."""
+        return np.linspace(self.rmin, self.rmax, self.nw)
+
+    @cached_property
+    def z(self) -> np.ndarray:
+        """Vertical node coordinates, shape ``(nh,)``."""
+        return np.linspace(self.zmin, self.zmax, self.nh)
+
+    @property
+    def dr(self) -> float:
+        return (self.rmax - self.rmin) / (self.nw - 1)
+
+    @property
+    def dz(self) -> float:
+        return (self.zmax - self.zmin) / (self.nh - 1)
+
+    @property
+    def cell_area(self) -> float:
+        """Area element dR*dZ used when integrating grid current."""
+        return self.dr * self.dz
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nw, self.nh)
+
+    @property
+    def size(self) -> int:
+        return self.nw * self.nh
+
+    @cached_property
+    def rr(self) -> np.ndarray:
+        """R coordinate broadcast over the grid, shape ``(nw, nh)``."""
+        return np.broadcast_to(self.r[:, None], self.shape).copy()
+
+    @cached_property
+    def zz(self) -> np.ndarray:
+        """Z coordinate broadcast over the grid, shape ``(nw, nh)``."""
+        return np.broadcast_to(self.z[None, :], self.shape).copy()
+
+    # -- Fortran-style flattening -------------------------------------------
+    def flatten(self, field: np.ndarray) -> np.ndarray:
+        """Flatten an ``(nw, nh)`` field to EFIT's column-major vector."""
+        field = np.asarray(field)
+        if field.shape != self.shape:
+            raise GridError(f"field shape {field.shape} != grid shape {self.shape}")
+        return field.reshape(self.size)
+
+    def unflatten(self, vec: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`flatten`."""
+        vec = np.asarray(vec)
+        if vec.shape != (self.size,):
+            raise GridError(f"vector length {vec.shape} != grid size {self.size}")
+        return vec.reshape(self.shape)
+
+    def flat_index(self, i: int, j: int) -> int:
+        """0-based flat index of node (i, j): ``kk = i*nh + j``."""
+        if not (0 <= i < self.nw and 0 <= j < self.nh):
+            raise GridError(f"node ({i}, {j}) outside {self.nw}x{self.nh} grid")
+        return i * self.nh + j
+
+    # -- boundary bookkeeping -------------------------------------------------
+    @cached_property
+    def boundary_mask(self) -> np.ndarray:
+        """Boolean ``(nw, nh)`` mask of the grid-edge nodes."""
+        mask = np.zeros(self.shape, dtype=bool)
+        mask[0, :] = mask[-1, :] = True
+        mask[:, 0] = mask[:, -1] = True
+        return mask
+
+    @property
+    def n_boundary(self) -> int:
+        """Number of distinct grid-edge nodes."""
+        return 2 * self.nw + 2 * self.nh - 4
+
+    def interior_slice(self) -> tuple[slice, slice]:
+        """Slices selecting the interior nodes of an ``(nw, nh)`` field."""
+        return (slice(1, self.nw - 1), slice(1, self.nh - 1))
+
+    # -- interpolation ---------------------------------------------------------
+    def bilinear(self, field: np.ndarray, r: float | np.ndarray, z: float | np.ndarray) -> np.ndarray:
+        """Bilinear interpolation of a grid field at points (r, z).
+
+        Points outside the domain are clamped to the boundary; EFIT's
+        limiter and diagnostics always lie inside the computational box, so
+        clamping only guards against round-off at the edges.
+        """
+        field = np.asarray(field)
+        if field.shape != self.shape:
+            raise GridError(f"field shape {field.shape} != grid shape {self.shape}")
+        r = np.asarray(r, dtype=float)
+        z = np.asarray(z, dtype=float)
+        fr = np.clip((r - self.rmin) / self.dr, 0.0, self.nw - 1 - 1e-12)
+        fz = np.clip((z - self.zmin) / self.dz, 0.0, self.nh - 1 - 1e-12)
+        i0 = fr.astype(int)
+        j0 = fz.astype(int)
+        tr = fr - i0
+        tz = fz - j0
+        f00 = field[i0, j0]
+        f10 = field[i0 + 1, j0]
+        f01 = field[i0, j0 + 1]
+        f11 = field[i0 + 1, j0 + 1]
+        return (
+            f00 * (1 - tr) * (1 - tz)
+            + f10 * tr * (1 - tz)
+            + f01 * (1 - tr) * tz
+            + f11 * tr * tz
+        )
+
+    def contains(self, r: float | np.ndarray, z: float | np.ndarray) -> np.ndarray:
+        """Boolean mask of points inside the computational box."""
+        r = np.asarray(r)
+        z = np.asarray(z)
+        return (r >= self.rmin) & (r <= self.rmax) & (z >= self.zmin) & (z <= self.zmax)
+
+    def refined(self, factor: int = 2) -> "RZGrid":
+        """A grid with (n-1)*factor+1 points per direction on the same box.
+
+        Doubling 65 -> 129 -> 257 -> 513 reproduces the paper's sweep.
+        """
+        if factor < 1:
+            raise GridError("refinement factor must be >= 1")
+        return RZGrid(
+            nw=(self.nw - 1) * factor + 1,
+            nh=(self.nh - 1) * factor + 1,
+            rmin=self.rmin,
+            rmax=self.rmax,
+            zmin=self.zmin,
+            zmax=self.zmax,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RZGrid({self.nw}x{self.nh}, R=[{self.rmin}, {self.rmax}], "
+            f"Z=[{self.zmin}, {self.zmax}])"
+        )

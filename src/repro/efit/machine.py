@@ -1,0 +1,311 @@
+"""Tokamak machine description: poloidal-field coils, limiter, vacuum field.
+
+The reconstruction needs to know where the external (poloidal-field) coils
+are — their flux threads every diagnostic and sets the boundary condition —
+and where the first wall (limiter) is, which bounds the plasma.
+
+:func:`diiid_like_machine` builds a synthetic device with DIII-D-like
+geometry (major radius 1.69 m, 18 shaping coils in up-down-symmetric pairs,
+a D-shaped limiter).  It is *not* the real DIII-D engineering description —
+that data is not public in convenient form — but it has the same scale,
+coil topology and diagnostic coverage, which is what the paper's workload
+(DIII-D shot #186610) exercises.  See DESIGN.md, substitution table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.efit.greens import greens_br, greens_bz, greens_psi
+from repro.efit.grid import RZGrid
+from repro.errors import MeasurementError
+
+__all__ = ["PoloidalFieldCoil", "Limiter", "Tokamak", "diiid_like_machine"]
+
+
+@dataclass(frozen=True)
+class PoloidalFieldCoil:
+    """A rectangular-cross-section PF coil, subdivided into filaments.
+
+    Parameters
+    ----------
+    name:
+        Coil label (``F1A`` ...).
+    r, z:
+        Centroid position [m].
+    width, height:
+        Radial and vertical extent of the winding pack [m].
+    turns:
+        Number of turns; the coil current is per-turn, total ampere-turns
+        are ``turns * current``.
+    nr, nz:
+        Filament subdivision of the cross-section for Green-function
+        accuracy (2x2 is plenty at reconstruction-grid resolution).
+    """
+
+    name: str
+    r: float
+    z: float
+    width: float = 0.1
+    height: float = 0.1
+    turns: float = 1.0
+    nr: int = 2
+    nz: int = 2
+
+    def __post_init__(self) -> None:
+        if self.r - 0.5 * self.width <= 0.0:
+            raise MeasurementError(f"coil {self.name} crosses the machine axis")
+        if self.nr < 1 or self.nz < 1:
+            raise MeasurementError(f"coil {self.name} needs >= 1 filament per direction")
+
+    @cached_property
+    def filaments(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Filament positions and per-filament turn weights ``(rf, zf, wf)``."""
+        rf = self.r + self.width * ((np.arange(self.nr) + 0.5) / self.nr - 0.5)
+        zf = self.z + self.height * ((np.arange(self.nz) + 0.5) / self.nz - 0.5)
+        rr, zz = np.meshgrid(rf, zf, indexing="ij")
+        w = np.full(rr.size, self.turns / (self.nr * self.nz))
+        return rr.ravel(), zz.ravel(), w
+
+    def psi_at(self, r, z) -> np.ndarray:
+        """Flux per radian per ampere of coil current at (r, z)."""
+        rf, zf, wf = self.filaments
+        r = np.asarray(r, dtype=float)
+        z = np.asarray(z, dtype=float)
+        out = np.zeros(np.broadcast_shapes(r.shape, z.shape))
+        for rfi, zfi, wfi in zip(rf, zf, wf):
+            out = out + wfi * greens_psi(r, z, rfi, zfi)
+        return out
+
+    def br_at(self, r, z) -> np.ndarray:
+        rf, zf, wf = self.filaments
+        r = np.asarray(r, dtype=float)
+        z = np.asarray(z, dtype=float)
+        out = np.zeros(np.broadcast_shapes(r.shape, z.shape))
+        for rfi, zfi, wfi in zip(rf, zf, wf):
+            out = out + wfi * greens_br(r, z, rfi, zfi)
+        return out
+
+    def bz_at(self, r, z) -> np.ndarray:
+        rf, zf, wf = self.filaments
+        r = np.asarray(r, dtype=float)
+        z = np.asarray(z, dtype=float)
+        out = np.zeros(np.broadcast_shapes(r.shape, z.shape))
+        for rfi, zfi, wfi in zip(rf, zf, wf):
+            out = out + wfi * greens_bz(r, z, rfi, zfi)
+        return out
+
+
+@dataclass(frozen=True)
+class VesselSegment:
+    """One toroidal filament of the vacuum-vessel wall.
+
+    During transients the vessel carries induced (eddy) currents that
+    pollute the magnetics; production EFIT therefore *fits* a current per
+    vessel segment alongside the plasma profile coefficients.  Each
+    segment is modeled as a single filament (the wall is thin).
+    """
+
+    name: str
+    r: float
+    z: float
+
+    def __post_init__(self) -> None:
+        if self.r <= 0.0:
+            raise MeasurementError(f"vessel segment {self.name} at R <= 0")
+
+    def psi_at(self, r, z) -> np.ndarray:
+        return greens_psi(r, z, self.r, self.z)
+
+    def br_at(self, r, z) -> np.ndarray:
+        return greens_br(r, z, self.r, self.z)
+
+    def bz_at(self, r, z) -> np.ndarray:
+        return greens_bz(r, z, self.r, self.z)
+
+
+@dataclass(frozen=True)
+class Limiter:
+    """The first-wall polygon bounding the plasma."""
+
+    r: np.ndarray
+    z: np.ndarray
+
+    def __post_init__(self) -> None:
+        r = np.asarray(self.r, dtype=float)
+        z = np.asarray(self.z, dtype=float)
+        if r.ndim != 1 or r.shape != z.shape or r.size < 3:
+            raise MeasurementError("limiter needs matching 1-D r/z arrays of >= 3 points")
+        object.__setattr__(self, "r", r)
+        object.__setattr__(self, "z", z)
+
+    @property
+    def n_points(self) -> int:
+        return int(self.r.size)
+
+    def contains(self, r, z) -> np.ndarray:
+        """Vectorised point-in-polygon (even-odd rule)."""
+        r = np.asarray(r, dtype=float)
+        z = np.asarray(z, dtype=float)
+        rp, zp = np.broadcast_arrays(r, z)
+        inside = np.zeros(rp.shape, dtype=bool)
+        x1, y1 = self.r, self.z
+        x2 = np.roll(x1, -1)
+        y2 = np.roll(y1, -1)
+        for xa, ya, xb, yb in zip(x1, y1, x2, y2):
+            crosses = (ya > zp) != (yb > zp)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                x_int = xa + (zp - ya) * (xb - xa) / (yb - ya)
+            inside ^= crosses & (rp < x_int)
+        return inside
+
+    def sample_points(self, n_per_edge: int = 4) -> tuple[np.ndarray, np.ndarray]:
+        """Densified limiter contour used for the boundary-psi search."""
+        if n_per_edge < 1:
+            raise MeasurementError("n_per_edge must be >= 1")
+        rs: list[np.ndarray] = []
+        zs: list[np.ndarray] = []
+        t = np.linspace(0.0, 1.0, n_per_edge, endpoint=False)
+        x2 = np.roll(self.r, -1)
+        y2 = np.roll(self.z, -1)
+        for xa, ya, xb, yb in zip(self.r, self.z, x2, y2):
+            rs.append(xa + t * (xb - xa))
+            zs.append(ya + t * (yb - ya))
+        return np.concatenate(rs), np.concatenate(zs)
+
+
+@dataclass(frozen=True)
+class Tokamak:
+    """A machine: coils + limiter + vessel + vacuum toroidal field."""
+
+    name: str
+    coils: tuple[PoloidalFieldCoil, ...]
+    limiter: Limiter
+    #: Vacuum ``F = R * B_phi`` [T m]; sets the boundary value of F.
+    f_vacuum: float
+    #: Default computational box for this device.
+    default_box: tuple[float, float, float, float] = (0.84, 2.54, -1.6, 1.6)
+    #: Vacuum-vessel wall segments (eddy-current carriers); may be empty.
+    vessel: tuple[VesselSegment, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.coils:
+            raise MeasurementError("a tokamak needs at least one PF coil")
+        names = [c.name for c in self.coils]
+        if len(set(names)) != len(names):
+            raise MeasurementError("duplicate coil names")
+        vnames = [v.name for v in self.vessel]
+        if len(set(vnames)) != len(vnames):
+            raise MeasurementError("duplicate vessel segment names")
+
+    @property
+    def n_coils(self) -> int:
+        return len(self.coils)
+
+    def coil_index(self, name: str) -> int:
+        for i, coil in enumerate(self.coils):
+            if coil.name == name:
+                return i
+        raise MeasurementError(f"no coil named {name!r}")
+
+    def make_grid(self, n: int) -> RZGrid:
+        """The ``n x n`` computational grid on this device's default box."""
+        rmin, rmax, zmin, zmax = self.default_box
+        return RZGrid(n, n, rmin, rmax, zmin, zmax)
+
+    def coil_flux_tables(self, grid: RZGrid) -> np.ndarray:
+        """Per-coil vacuum flux tables, shape ``(n_coils, nw, nh)``.
+
+        ``psi_vacuum = tensordot(currents, tables, 1)`` — the ``green_``
+        setup data for the external sources.
+        """
+        tables = np.empty((self.n_coils, grid.nw, grid.nh))
+        for k, coil in enumerate(self.coils):
+            tables[k] = coil.psi_at(grid.rr, grid.zz)
+        return tables
+
+    def psi_from_coils(self, grid: RZGrid, currents: np.ndarray) -> np.ndarray:
+        """Vacuum flux on the grid for the given per-coil currents [A]."""
+        currents = np.asarray(currents, dtype=float)
+        if currents.shape != (self.n_coils,):
+            raise MeasurementError(
+                f"need {self.n_coils} coil currents, got shape {currents.shape}"
+            )
+        return np.tensordot(currents, self.coil_flux_tables(grid), axes=1)
+
+    # -- vessel ------------------------------------------------------------------
+    @property
+    def n_vessel(self) -> int:
+        return len(self.vessel)
+
+    def vessel_flux_tables(self, grid: RZGrid) -> np.ndarray:
+        """Per-segment vessel flux tables, shape ``(n_vessel, nw, nh)``."""
+        tables = np.empty((self.n_vessel, grid.nw, grid.nh))
+        for k, seg in enumerate(self.vessel):
+            tables[k] = seg.psi_at(grid.rr, grid.zz)
+        return tables
+
+    def psi_from_vessel(self, grid: RZGrid, currents: np.ndarray) -> np.ndarray:
+        """Flux of the vessel eddy currents on the grid."""
+        currents = np.asarray(currents, dtype=float)
+        if currents.shape != (self.n_vessel,):
+            raise MeasurementError(
+                f"need {self.n_vessel} vessel currents, got shape {currents.shape}"
+            )
+        if self.n_vessel == 0:
+            return np.zeros(grid.shape)
+        return np.tensordot(currents, self.vessel_flux_tables(grid), axes=1)
+
+
+def _miller_contour(
+    r0: float, a: float, kappa: float, delta: float, n: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Miller-parameterised D-shaped closed contour."""
+    theta = np.linspace(0.0, 2.0 * np.pi, n, endpoint=False)
+    r = r0 + a * np.cos(theta + delta * np.sin(theta))
+    z = kappa * a * np.sin(theta)
+    return r, z
+
+
+def diiid_like_machine(*, n_limiter: int = 64, n_vessel: int = 24) -> Tokamak:
+    """A DIII-D-scale synthetic tokamak.
+
+    Eighteen PF coils in nine up-down-symmetric pairs whose layout follows
+    the DIII-D F-coil arrangement (inboard solenoid-side stack F1-F5,
+    outboard ring F6-F9); D-shaped limiter with R0 = 1.69 m, a = 0.67 m,
+    elongation 1.75, triangularity 0.35; vacuum field B0 = 2.0 T; a
+    ``n_vessel``-segment vacuum-vessel wall between the limiter and the
+    diagnostic ring.
+    """
+    upper = [
+        ("F1A", 0.8608, 0.1683, 0.0508, 0.32, 58.0),
+        ("F2A", 0.8614, 0.5081, 0.0508, 0.32, 58.0),
+        ("F3A", 0.8628, 0.8491, 0.0508, 0.32, 58.0),
+        ("F4A", 0.8611, 1.1899, 0.0508, 0.32, 58.0),
+        ("F5A", 1.0041, 1.5169, 0.13, 0.13, 58.0),
+        ("F6A", 2.6124, 0.4376, 0.27, 0.17, 55.0),
+        ("F7A", 2.3733, 1.1171, 0.17, 0.17, 55.0),
+        ("F8A", 1.2518, 1.6019, 0.13, 0.13, 58.0),
+        ("F9A", 1.6890, 1.5874, 0.13, 0.13, 55.0),
+    ]
+    coils: list[PoloidalFieldCoil] = []
+    for name, r, z, w, h, turns in upper:
+        coils.append(PoloidalFieldCoil(name, r, z, w, h, turns))
+        coils.append(PoloidalFieldCoil(name.replace("A", "B"), r, -z, w, h, turns))
+    lr, lz = _miller_contour(r0=1.69, a=0.67, kappa=1.75, delta=0.35, n=n_limiter)
+    # Vessel wall: the limiter contour scaled out by 6% about its centroid.
+    vr, vz = _miller_contour(r0=1.69, a=0.67 * 1.06, kappa=1.75, delta=0.35, n=n_vessel)
+    vessel = tuple(
+        VesselSegment(f"VS{k:03d}", float(r), float(z)) for k, (r, z) in enumerate(zip(vr, vz))
+    )
+    return Tokamak(
+        name="DIII-D-like",
+        coils=tuple(coils),
+        limiter=Limiter(lr, lz),
+        f_vacuum=1.69 * 2.0,
+        default_box=(0.84, 2.54, -1.6, 1.6),
+        vessel=vessel,
+    )

@@ -1,0 +1,34 @@
+"""Interior Dirichlet solvers for the discrete Grad-Shafranov equation.
+
+Given the right-hand side ``-mu0 R J_phi`` on the grid and the boundary
+flux from the Green-function sums, ``pflux_`` completes the solve with a
+fast direct method.  Production EFIT uses a Buneman-style cyclic-reduction
+solver; we provide four interchangeable implementations:
+
+* :class:`DirectLUSolver` — sparse LU factorisation (robust reference),
+* :class:`DSTSolver` — sine-transform in Z + vectorised tridiagonal solves
+  in R (O(N^2 log N)),
+* :class:`CyclicReductionSolver` — Buneman cyclic reduction, the actual
+  algorithm class production EFIT uses (and the reason its grids are
+  2^k + 1),
+* :class:`ConjugateGradientSolver` — symmetrised CG (iterative reference).
+
+All share the :class:`GSInteriorSolver` interface and are validated against
+each other and against analytic Solov'ev equilibria in the test suite.
+"""
+
+from repro.efit.solvers.base import GSInteriorSolver, make_solver, SOLVER_NAMES
+from repro.efit.solvers.cyclic import CyclicReductionSolver
+from repro.efit.solvers.direct import DirectLUSolver
+from repro.efit.solvers.dst import DSTSolver
+from repro.efit.solvers.iterative import ConjugateGradientSolver
+
+__all__ = [
+    "GSInteriorSolver",
+    "make_solver",
+    "SOLVER_NAMES",
+    "CyclicReductionSolver",
+    "DirectLUSolver",
+    "DSTSolver",
+    "ConjugateGradientSolver",
+]

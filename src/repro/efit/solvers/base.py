@@ -1,0 +1,85 @@
+"""Common interface for the interior Grad-Shafranov solvers."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.efit.grid import RZGrid
+from repro.efit.operators import GradShafranovOperator
+from repro.errors import GridError, SolverError
+
+__all__ = ["GSInteriorSolver", "make_solver", "SOLVER_NAMES"]
+
+
+class GSInteriorSolver(abc.ABC):
+    """Solve ``Delta* psi = rhs`` inside the box with Dirichlet edge data.
+
+    Implementations precompute whatever factorisation they need at
+    construction (per-grid cost, amortised over the Picard iterations) and
+    expose a single :meth:`solve`.
+    """
+
+    def __init__(self, grid: RZGrid) -> None:
+        self.grid = grid
+        self.operator = GradShafranovOperator(grid)
+
+    @abc.abstractmethod
+    def _solve_interior(self, b: np.ndarray) -> np.ndarray:
+        """Solve the interior system ``A x = b`` with ``b`` shaped
+        ``(nw-2, nh-2)``; returns ``x`` with the same shape."""
+
+    def solve(self, rhs: np.ndarray, psi_boundary: np.ndarray) -> np.ndarray:
+        """Solve for the full ``(nw, nh)`` flux.
+
+        Parameters
+        ----------
+        rhs:
+            Full-grid right-hand side ``-mu0 R J_phi``; only the interior
+            values are used.
+        psi_boundary:
+            Full-grid field whose edge ring supplies the Dirichlet data
+            (typically the Green-function boundary sums plus coil flux).
+        """
+        grid = self.grid
+        rhs = np.asarray(rhs, dtype=float)
+        psi_boundary = np.asarray(psi_boundary, dtype=float)
+        if rhs.shape != grid.shape or psi_boundary.shape != grid.shape:
+            raise GridError("rhs/boundary shape mismatch with grid")
+        ni, nj = grid.nw - 2, grid.nh - 2
+        corr = self.operator.dirichlet_rhs_correction(psi_boundary).reshape(ni, nj)
+        b = rhs[1:-1, 1:-1] - corr
+        x = self._solve_interior(b)
+        if x.shape != (ni, nj):
+            raise SolverError(f"interior solution shape {x.shape} != {(ni, nj)}")
+        psi = np.empty(grid.shape)
+        psi[0, :] = psi_boundary[0, :]
+        psi[-1, :] = psi_boundary[-1, :]
+        psi[:, 0] = psi_boundary[:, 0]
+        psi[:, -1] = psi_boundary[:, -1]
+        psi[1:-1, 1:-1] = x
+        return psi
+
+
+SOLVER_NAMES = ("direct", "dst", "cyclic", "cg")
+
+
+def make_solver(name: str, grid: RZGrid, **kwargs) -> GSInteriorSolver:
+    """Factory keyed on solver name (``direct`` | ``dst`` | ``cyclic`` | ``cg``)."""
+    from repro.efit.solvers.cyclic import CyclicReductionSolver
+    from repro.efit.solvers.direct import DirectLUSolver
+    from repro.efit.solvers.dst import DSTSolver
+    from repro.efit.solvers.iterative import ConjugateGradientSolver
+
+    table = {
+        "direct": DirectLUSolver,
+        "dst": DSTSolver,
+        "cyclic": CyclicReductionSolver,
+        "cg": ConjugateGradientSolver,
+    }
+    try:
+        cls = table[name]
+    except KeyError:
+        raise SolverError(f"unknown solver {name!r}; choose from {SOLVER_NAMES}") from None
+    return cls(grid, **kwargs)

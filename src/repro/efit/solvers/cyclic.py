@@ -1,0 +1,153 @@
+"""Buneman cyclic-reduction fast solver — the algorithm production EFIT uses.
+
+The interior system couples Z-planes with a *scalar* coefficient
+``c = 1/dz^2`` around a constant tridiagonal R-operator ``T``.  Dividing
+by ``c`` normalises it to
+
+    x_{j-1} + A x_j + x_{j+1} = b_j / c,       A = T / c,   j = 1 .. m.
+
+Cyclic reduction eliminates every other plane per level,
+
+    A_{r+1} = 2 I - A_r^2,
+
+and after ``k = log2(m+1)`` levels one equation remains — which is why
+EFIT grids are always ``2^k + 1`` (65, 129, 257, 513).  ``A_r`` is a
+degree-``2^r`` Chebyshev-like polynomial in ``A`` with known roots
+``a_i = -2 cos((2i-1) pi / 2^{r+1})``, so each ``A_r^{-1}`` application is
+a short product of shifted *tridiagonal* solves: O(N^2 log N) total using
+only banded kernels.
+
+The naive right-hand-side recursion ``b' = b_{j-h} + b_{j+h} - A_r b_j``
+amplifies round-off like ``||A_r||`` (we measured 1e-5 absolute error by
+65 planes); this implementation therefore uses **Buneman's variant 1**
+(Buzbee, Golub & Nielson, SIAM J. Numer. Anal. 1970), which carries the
+RHS as ``b_j = A_r p_j + q_j`` with the stable recurrences
+
+    w           = A_r^{-1} (p_{j-h} + p_{j+h} - q_j)
+    p^{(r+1)}_j = p_j - w
+    q^{(r+1)}_j = q_{j-h} + q_{j+h} - 2 p^{(r+1)}_j
+
+and back-substitutes ``x_j = p_j + A_r^{-1}(q_j - x_{j-h} - x_{j+h})``.
+Accuracy then matches the direct solver to ~1e-12 at every paper grid.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.linalg import solve_banded
+
+from repro.efit.grid import RZGrid
+from repro.efit.solvers.base import GSInteriorSolver
+from repro.errors import SolverError
+
+__all__ = ["CyclicReductionSolver"]
+
+
+def _is_pow2_minus_1(m: int) -> bool:
+    return m >= 1 and ((m + 1) & m) == 0
+
+
+class CyclicReductionSolver(GSInteriorSolver):
+    """Buneman cyclic reduction over Z-planes, tridiagonal solves in R.
+
+    Requires ``nh - 2 = 2^k - 1`` interior planes (every paper grid
+    qualifies).  ``nw`` is unconstrained.
+    """
+
+    def __init__(self, grid: RZGrid) -> None:
+        super().__init__(grid)
+        m = grid.nh - 2
+        if not _is_pow2_minus_1(m):
+            raise SolverError(
+                f"cyclic reduction needs nh = 2^k + 1 (interior planes a "
+                f"power of two minus one); got nh = {grid.nh} (m = {m})"
+            )
+        self.m = m
+        self.k = int(math.log2(m + 1))
+        dr2 = grid.dr**2
+        self.c = 1.0 / grid.dz**2
+        ap = self.operator.a_plus / dr2
+        am = self.operator.a_minus / dr2
+        diag = -(self.operator.a_plus + self.operator.a_minus) / dr2 - 2.0 / grid.dz**2
+        ni = grid.nw - 2
+        # Banded storage of T for solve_banded ((1, 1) bands).
+        self._upper = np.concatenate((ap[:-1], [0.0]))
+        self._lower = np.concatenate(([0.0], am[1:]))
+        self._diag = diag
+        self._ni = ni
+
+    # -- T and A_r as operators ------------------------------------------------------
+    def _solve_t(self, b: np.ndarray, shift: float = 0.0) -> np.ndarray:
+        """(T + shift I)^{-1} b."""
+        ab = np.zeros((3, self._ni))
+        ab[0, 1:] = self._upper[:-1]
+        ab[1, :] = self._diag + shift
+        ab[2, :-1] = self._lower[1:]
+        return solve_banded((1, 1), ab, b)
+
+    def _shifts(self, r: int) -> np.ndarray:
+        """T-space roots ``t_i = c * a_i = -2 c cos((2i-1) pi / 2^{r+1})``."""
+        i = np.arange(1, 2**r + 1)
+        return -2.0 * self.c * np.cos((2.0 * i - 1.0) * np.pi / 2 ** (r + 1))
+
+    def _solve_a(self, r: int, b: np.ndarray) -> np.ndarray:
+        """``A_r^{-1} b`` with ``A_0 = T/c`` and ``A_{r+1} = 2I - A_r^2``.
+
+        ``A_r = -prod_i (A - a_i I)`` for r >= 1; each factor inverse is
+        ``c (T - t_i I)^{-1}``, applied root by root so the ``c^{2^r}``
+        normalisation never materialises as one overflowing scalar.
+        """
+        if r == 0:
+            return self.c * self._solve_t(b)
+        y = -b
+        for t in self._shifts(r):
+            y = self.c * self._solve_t(y, shift=-t)
+        return y
+
+    # -- the solver --------------------------------------------------------------------
+    def _solve_interior(self, b: np.ndarray) -> np.ndarray:
+        m, k = self.m, self.k
+        ni = self._ni
+        # Normalised planes (0-based index j for 1-based plane j+1).
+        p = [np.zeros(ni) for _ in range(m)]
+        q = [b[:, j] / self.c for j in range(m)]
+        zero = np.zeros(ni)
+
+        # --- Buneman reduction ------------------------------------------------
+        for r in range(k - 1):
+            step = 2 ** (r + 1)
+            half = 2**r
+            new_p: dict[int, np.ndarray] = {}
+            new_q: dict[int, np.ndarray] = {}
+            for j in range(step - 1, m, step):
+                p_lo = p[j - half]
+                p_hi = p[j + half] if j + half < m else zero
+                q_lo = q[j - half]
+                q_hi = q[j + half] if j + half < m else zero
+                w = self._solve_a(r, p_lo + p_hi - q[j])
+                new_p[j] = p[j] - w
+                new_q[j] = q_lo + q_hi - 2.0 * new_p[j]
+            for j, val in new_p.items():
+                p[j] = val
+                q[j] = new_q[j]
+
+        # --- final single equation at the middle plane -------------------------
+        x: list[np.ndarray | None] = [None] * m
+        mid = 2 ** (k - 1) - 1
+        x[mid] = p[mid] + self._solve_a(k - 1, q[mid])
+
+        # --- back substitution --------------------------------------------------
+        for r in range(k - 2, -1, -1):
+            step = 2 ** (r + 1)
+            half = 2**r
+            for j in range(half - 1, m, step):
+                lo = x[j - half] if j - half >= 0 else zero
+                hi = x[j + half] if j + half < m else zero
+                x[j] = p[j] + self._solve_a(r, q[j] - lo - hi)
+
+        out = np.empty((ni, m))
+        for j in range(m):
+            out[:, j] = x[j]
+        return out

@@ -1,0 +1,97 @@
+"""Fast Grad-Shafranov solver: sine transform in Z, tridiagonals in R.
+
+The ``Delta*`` operator separates on the uniform mesh: the Z part is the
+constant-coefficient second difference, diagonalised by the type-I discrete
+sine transform (Dirichlet-Dirichlet), while the R part is a tridiagonal
+operator per mode.  This is the same O(N^2 log N) structure as the
+Buneman/cyclic-reduction solver EFIT's ``pflux_`` uses, and it is the
+implementation offloaded in :mod:`repro.core.offload`.
+
+Algorithm for the interior unknowns (shape ``(ni, nj)``):
+
+1. DST-I each interior row along Z: ``b_hat[i, m]``.
+2. For each mode ``m`` with eigenvalue
+   ``lam_m = -4 sin^2(pi (m+1) / (2 (nh-1))) / dz^2`` solve the tridiagonal
+   system ``am_i x[i-1] + (d_i + lam_m) x[i] + ap_i x[i+1] = b_hat[i, m]``.
+   All modes share the off-diagonals, so a single vectorised Thomas sweep
+   handles every mode at once.
+3. Inverse DST-I back to physical space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.fft import dst, idst
+
+from repro.efit.grid import RZGrid
+from repro.efit.solvers.base import GSInteriorSolver
+from repro.errors import SolverError
+
+__all__ = ["DSTSolver", "thomas_multi_rhs"]
+
+
+def thomas_multi_rhs(
+    lower: np.ndarray, diag: np.ndarray, upper: np.ndarray, rhs: np.ndarray
+) -> np.ndarray:
+    """Thomas algorithm for many tridiagonal systems sharing off-diagonals.
+
+    Parameters
+    ----------
+    lower, upper:
+        Off-diagonals, shape ``(n,)`` (``lower[0]`` and ``upper[n-1]``
+        unused).
+    diag:
+        Diagonals, shape ``(n, m)`` — one column per system.
+    rhs:
+        Right-hand sides, shape ``(n, m)``.
+
+    Returns the ``(n, m)`` solution.  The sweep is vectorised across the
+    ``m`` systems; only the ``n`` dimension is a Python loop.
+    """
+    n, m = rhs.shape
+    if diag.shape != (n, m) or lower.shape != (n,) or upper.shape != (n,):
+        raise SolverError("thomas_multi_rhs shape mismatch")
+    cp = np.empty((n, m))
+    dp = np.empty((n, m))
+    cp[0] = upper[0] / diag[0]
+    dp[0] = rhs[0] / diag[0]
+    for i in range(1, n):
+        denom = diag[i] - lower[i] * cp[i - 1]
+        cp[i] = upper[i] / denom
+        dp[i] = (rhs[i] - lower[i] * dp[i - 1]) / denom
+    x = np.empty((n, m))
+    x[-1] = dp[-1]
+    for i in range(n - 2, -1, -1):
+        x[i] = dp[i] - cp[i] * x[i + 1]
+    return x
+
+
+class DSTSolver(GSInteriorSolver):
+    """Sine-transform fast solver (EFIT's production solver class)."""
+
+    def __init__(self, grid: RZGrid) -> None:
+        super().__init__(grid)
+        ni = grid.nw - 2
+        nj = grid.nh - 2
+        dr2 = grid.dr**2
+        dz2 = grid.dz**2
+        modes = np.arange(1, nj + 1)
+        #: Z-direction eigenvalues of the second difference, shape (nj,).
+        self.lam = -4.0 / dz2 * np.sin(np.pi * modes / (2.0 * (grid.nh - 1))) ** 2
+        ap = self.operator.a_plus / dr2
+        am = self.operator.a_minus / dr2
+        self._lower = np.concatenate(([0.0], am[1:]))
+        self._upper = np.concatenate((ap[:-1], [0.0]))
+        base_diag = -(self.operator.a_plus + self.operator.a_minus) / dr2
+        #: Per-(row, mode) diagonal: base R-stencil diagonal plus lam_m.
+        self._diag = base_diag[:, None] + self.lam[None, :]
+        if np.any(np.abs(self._diag) < 1e-300):
+            raise SolverError("singular mode diagonal in DST solver")
+        self._ni = ni
+        self._nj = nj
+
+    def _solve_interior(self, b: np.ndarray) -> np.ndarray:
+        # Forward DST-I along Z (axis 1); ortho norm makes idst the inverse.
+        b_hat = dst(b, type=1, axis=1, norm="ortho")
+        x_hat = thomas_multi_rhs(self._lower, self._diag, self._upper, b_hat)
+        return idst(x_hat, type=1, axis=1, norm="ortho")

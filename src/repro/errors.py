@@ -1,0 +1,112 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GridError",
+    "GreensError",
+    "SolverError",
+    "ConvergenceError",
+    "BoundaryError",
+    "FittingError",
+    "MeasurementError",
+    "DirectiveError",
+    "DirectiveParseError",
+    "TranslationError",
+    "HardwareError",
+    "CompilerError",
+    "UnsupportedTargetError",
+    "RuntimeModelError",
+    "MemoryModelError",
+    "MapError",
+    "LaunchError",
+    "CalibrationError",
+    "EqdskError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GridError(ReproError):
+    """Invalid grid specification (non-positive extents, bad shape...)."""
+
+
+class GreensError(ReproError):
+    """Green-function evaluation failure (coincident filaments, R<=0...)."""
+
+
+class SolverError(ReproError):
+    """Interior Grad-Shafranov solver failure."""
+
+
+class ConvergenceError(SolverError):
+    """An iterative procedure failed to reach its tolerance."""
+
+
+class BoundaryError(ReproError):
+    """Plasma boundary / magnetic axis search failure."""
+
+
+class FittingError(ReproError):
+    """Equilibrium fitting (``fit_``) failure."""
+
+
+class MeasurementError(ReproError):
+    """Invalid measurement set or diagnostic specification."""
+
+
+class DirectiveError(ReproError):
+    """Invalid directive construction or application."""
+
+
+class DirectiveParseError(DirectiveError):
+    """A pragma string could not be parsed."""
+
+
+class TranslationError(DirectiveError):
+    """A directive could not be translated between OpenACC and OpenMP."""
+
+
+class HardwareError(ReproError):
+    """Invalid hardware model parameters."""
+
+
+class CompilerError(ReproError):
+    """Compiler-model failure (unknown flags, bad lowering request...)."""
+
+
+class UnsupportedTargetError(CompilerError):
+    """The (compiler, programming model, architecture) combination is not
+    supported -- e.g. OpenACC on Intel PVC, for which no compiler exists."""
+
+
+class RuntimeModelError(ReproError):
+    """Offload-runtime simulation failure."""
+
+
+class MemoryModelError(RuntimeModelError):
+    """Unified-memory / data-environment model failure."""
+
+
+class MapError(MemoryModelError):
+    """Invalid explicit data mapping (``target data map``)."""
+
+
+class LaunchError(RuntimeModelError):
+    """Kernel launch failure (no device, plan/loop-nest mismatch...)."""
+
+
+class CalibrationError(ReproError):
+    """Calibration table lookup failure."""
+
+
+class EqdskError(ReproError):
+    """G-EQDSK file format error."""

@@ -1,0 +1,27 @@
+"""Mechanistic hardware models of the paper's devices (Section 4.1).
+
+Architecture parameters follow the vendor white papers the paper cites:
+NVIDIA A100 (Ampere), AMD MI250X (CDNA2, modeled per GCD — "the nominal
+programmable device"), Intel Data Center GPU Max / Ponte Vecchio (modeled
+per stack), and the three host CPUs.
+"""
+
+from repro.hardware.arch import GPUArchitecture, CPUArchitecture
+from repro.hardware.nvidia import a100
+from repro.hardware.amd import mi250x_gcd
+from repro.hardware.intel import pvc_stack
+from repro.hardware.cpus import epyc_7763_milan, epyc_7a53_optimized, xeon_sapphire_rapids
+from repro.hardware.roofline import roofline_time, attainable_gflops
+
+__all__ = [
+    "GPUArchitecture",
+    "CPUArchitecture",
+    "a100",
+    "mi250x_gcd",
+    "pvc_stack",
+    "epyc_7763_milan",
+    "epyc_7a53_optimized",
+    "xeon_sapphire_rapids",
+    "roofline_time",
+    "attainable_gflops",
+]

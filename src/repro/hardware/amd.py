@@ -1,0 +1,37 @@
+"""AMD MI250X (CDNA2) device model — Frontier's GPU, per GCD (Section 4.1)."""
+
+from __future__ import annotations
+
+from repro.hardware.arch import GPUArchitecture
+
+__all__ = ["mi250x_gcd"]
+
+
+def mi250x_gcd() -> GPUArchitecture:
+    """One Graphics Compute Die of an MI250X — the paper's "nominal
+    programmable device" on Frontier.
+
+    110 CUs x 4 x 16-wide 64-bit SIMD -> ~24 TFLOP/s FP64 per GCD; only
+    8 MB of L2 (5x less than A100 — the Green tables never fit, which is
+    why lowering quality shows up directly as HBM traffic); 1638 GB/s HBM2e
+    per GCD; Infinity-Fabric host link; XNACK page-fault migration at small
+    granularity makes unified-memory faults comparatively expensive.
+    """
+    return GPUArchitecture(
+        name="MI250X-GCD",
+        vendor="AMD",
+        peak_fp64_gflops=23950.0,
+        hbm_bw_gbs=1638.0,
+        hbm_efficiency=0.80,
+        llc_mib=8.0,
+        compute_units=110,
+        simd_width=64,
+        threads_for_saturation=120_000,
+        kernel_launch_us=15.0,
+        host_link_gbs=36.0,
+        page_kib=4.0,
+        page_fault_us=34.0,
+        fault_batch_pages=10,
+        hbm_gib=64.0,
+        unified_memory=True,
+    )

@@ -1,0 +1,37 @@
+"""Intel Ponte Vecchio device model — Sunspot's GPU, per stack (Section 4.1)."""
+
+from __future__ import annotations
+
+from repro.hardware.arch import GPUArchitecture
+
+__all__ = ["pvc_stack"]
+
+
+def pvc_stack() -> GPUArchitecture:
+    """One stack (tile) of an Intel Data Center GPU Max "Ponte Vecchio".
+
+    Per the paper's comparison: ~1.5x the A100's peak FP64 (~14.6 TFLOP/s
+    per stack), comparable HBM bandwidth (~1.3 TB/s), and comparable host
+    connectivity.  Crucially, the 2023 oneAPI stack offered *no unified
+    memory* for Fortran offload, so every kernel's data must be mapped
+    explicitly; runtime per-region overheads were also markedly higher
+    than on CUDA/ROCm, which is what the paper's Intel results reflect.
+    """
+    return GPUArchitecture(
+        name="PVC-1-stack",
+        vendor="Intel",
+        peak_fp64_gflops=14600.0,
+        hbm_bw_gbs=1300.0,
+        hbm_efficiency=0.78,
+        llc_mib=204.0,
+        compute_units=64,
+        simd_width=32,
+        threads_for_saturation=60_000,
+        kernel_launch_us=100.0,
+        host_link_gbs=20.0,
+        page_kib=2048.0,
+        page_fault_us=0.0,
+        fault_batch_pages=1,
+        hbm_gib=64.0,
+        unified_memory=False,
+    )

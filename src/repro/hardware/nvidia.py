@@ -1,0 +1,34 @@
+"""NVIDIA A100 (Ampere) device model — Perlmutter's GPU (Section 4.1)."""
+
+from __future__ import annotations
+
+from repro.hardware.arch import GPUArchitecture
+
+__all__ = ["a100"]
+
+
+def a100() -> GPUArchitecture:
+    """One SXM4 A100 40 GB as deployed in Perlmutter GPU nodes.
+
+    108 SMs x 4 schedulers x 8 FP64 pipes at ~1.41 GHz -> 9.7 TFLOP/s
+    FP64 (vector); 40 MB L2; 1555 GB/s HBM2e; PCIe 4.0 x16 host link
+    (~26 GB/s achieved); CUDA managed memory migrates 2 MiB chunks.
+    """
+    return GPUArchitecture(
+        name="A100-SXM4-40GB",
+        vendor="NVIDIA",
+        peak_fp64_gflops=9700.0,
+        hbm_bw_gbs=1555.0,
+        hbm_efficiency=0.82,
+        llc_mib=40.0,
+        compute_units=108,
+        simd_width=32,
+        threads_for_saturation=110_000,
+        kernel_launch_us=24.0,
+        host_link_gbs=26.0,
+        page_kib=2048.0,
+        page_fault_us=22.0,
+        fault_batch_pages=64,
+        hbm_gib=40.0,
+        unified_memory=True,
+    )

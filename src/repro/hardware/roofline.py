@@ -1,0 +1,66 @@
+"""Roofline performance model.
+
+The paper leans on roofline reasoning throughout (its related work applies
+the roofline methodology to directive ports; its analysis attributes the
+AMD OpenACC gap to data movement).  The model here is the classic one:
+
+.. math::
+
+    t = \\max\\left(\\frac{F}{P_{eff}},\\; \\frac{B}{W_{eff}}\\right)
+
+with ``F`` the kernel FLOPs, ``B`` the bytes actually moved from HBM,
+``P_eff``/``W_eff`` the attainable compute and bandwidth after occupancy
+and lowering-quality deratings.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HardwareError
+from repro.hardware.arch import GPUArchitecture
+
+__all__ = ["roofline_time", "attainable_gflops", "occupancy_factor"]
+
+
+def occupancy_factor(arch: GPUArchitecture, exposed_threads: float) -> float:
+    """Fraction of peak bandwidth reachable with ``exposed_threads``
+    resident work-items.
+
+    Memory latency hiding needs enough threads in flight; below
+    ``threads_for_saturation`` attainable bandwidth falls roughly
+    linearly (with a floor representing a single wave of work).
+    """
+    if exposed_threads <= 0:
+        raise HardwareError("exposed_threads must be positive")
+    frac = exposed_threads / arch.threads_for_saturation
+    return max(min(frac, 1.0), 0.02)
+
+
+def attainable_gflops(arch: GPUArchitecture, intensity_flops_per_byte: float) -> float:
+    """Classic roofline: ``min(peak, AI * BW)`` in GFLOP/s."""
+    if intensity_flops_per_byte < 0:
+        raise HardwareError("negative arithmetic intensity")
+    bw = arch.hbm_bw_gbs * arch.hbm_efficiency
+    return min(arch.peak_fp64_gflops, intensity_flops_per_byte * bw)
+
+
+def roofline_time(
+    arch: GPUArchitecture,
+    flops: float,
+    bytes_moved: float,
+    *,
+    compute_efficiency: float = 1.0,
+    bandwidth_efficiency: float = 1.0,
+) -> float:
+    """Kernel execution time [s] under the roofline with deratings.
+
+    ``compute_efficiency`` and ``bandwidth_efficiency`` fold in occupancy
+    and compiler-lowering quality; launch overheads are charged separately
+    by the executor.
+    """
+    if flops < 0 or bytes_moved < 0:
+        raise HardwareError("negative work")
+    if not (0.0 < compute_efficiency <= 1.0) or not (0.0 < bandwidth_efficiency <= 1.0):
+        raise HardwareError("efficiencies must be in (0, 1]")
+    t_compute = flops / (arch.peak_fp64_gflops * 1e9 * compute_efficiency)
+    t_memory = bytes_moved / (arch.hbm_bw_gbs * 1e9 * arch.hbm_efficiency * bandwidth_efficiency)
+    return max(t_compute, t_memory)

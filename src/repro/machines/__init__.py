@@ -1,0 +1,5 @@
+"""HPC facility node configurations (Section 4)."""
+
+from repro.machines.site import MachineSite, perlmutter, frontier, sunspot, ALL_SITES
+
+__all__ = ["MachineSite", "perlmutter", "frontier", "sunspot", "ALL_SITES"]

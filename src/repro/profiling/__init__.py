@@ -1,0 +1,25 @@
+"""Timing and counter instrumentation.
+
+Two clocks coexist in this reproduction:
+
+* a *wall clock* (:class:`WallClock`) wrapping ``time.perf_counter`` — the
+  analog of the paper's ``omp_get_wtime()`` — used when really executing
+  the Python kernels, and
+* a *virtual clock* (:class:`VirtualClock`) advanced by the hardware cost
+  models — used when simulating a run on Perlmutter / Frontier / Sunspot,
+  so modeled results are exactly reproducible.
+
+:class:`RegionProfiler` accumulates per-region time on either clock and
+renders the ``fit_`` breakdowns of the paper's Figures 1 and 6.
+"""
+
+from repro.profiling.timer import Clock, WallClock, VirtualClock
+from repro.profiling.regions import RegionProfiler, RegionReport
+
+__all__ = [
+    "Clock",
+    "WallClock",
+    "VirtualClock",
+    "RegionProfiler",
+    "RegionReport",
+]

@@ -1,0 +1,27 @@
+"""The simulated offload runtime.
+
+This package plays the role CUDA/ROCm/Level-Zero play on the real
+machines: it owns device residency of arrays (page-migrating unified
+memory or explicit ``target data`` maps), charges kernel-launch and
+data-movement time to a deterministic virtual clock, and accumulates the
+hardware counters (DRAM bytes, FLOPs, faults, transfers) that the paper
+reads out of Nsight Compute / rocprof / Intel Advisor.
+"""
+
+from repro.runtime.counters import CounterSet, KernelCounters
+from repro.runtime.allocator import AllocatorModel, AllocationPolicy
+from repro.runtime.memory import DeviceArray, UnifiedMemory, ExplicitDataEnvironment
+from repro.runtime.kernel import ExecutionPlan
+from repro.runtime.executor import OffloadExecutor
+
+__all__ = [
+    "CounterSet",
+    "KernelCounters",
+    "AllocatorModel",
+    "AllocationPolicy",
+    "DeviceArray",
+    "UnifiedMemory",
+    "ExplicitDataEnvironment",
+    "ExecutionPlan",
+    "OffloadExecutor",
+]

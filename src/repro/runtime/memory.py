@@ -1,0 +1,187 @@
+"""Device data management: unified memory and explicit data environments.
+
+Two regimes, matching the three platforms (Table 3 / Section 4.2):
+
+* :class:`UnifiedMemory` — NVIDIA (``-gpu=managed``) and AMD
+  (``CRAY_ACC_USE_UNIFIED_MEM=1`` + ``HSA_XNACK=1``): arrays migrate to
+  the device on first touch, page batch by page batch, and stay resident
+  as long as their host allocation is stable (see
+  :mod:`repro.runtime.allocator`).  Host writes invalidate residency;
+  host reads of device-written arrays migrate data back.
+
+* :class:`ExplicitDataEnvironment` — Intel PVC, where unified memory "is
+  not available yet": without an enclosing ``target data`` region every
+  kernel implicitly copies its referenced arrays in and out; with one, the
+  transfers happen at region entry/exit only (the optimisation Section 6.2
+  describes).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import MapError, MemoryModelError
+from repro.hardware.arch import GPUArchitecture
+from repro.profiling.timer import Clock
+from repro.runtime.allocator import Allocation, AllocatorModel
+from repro.runtime.counters import CounterSet
+
+__all__ = ["Direction", "DeviceArray", "UnifiedMemory", "ExplicitDataEnvironment"]
+
+
+class Direction(enum.Enum):
+    """How a kernel uses an array, from the data-management viewpoint."""
+
+    IN = "in"  # produced on the host, read by the device
+    OUT = "out"  # produced on the device, read by the host afterwards
+    INOUT = "inout"
+    RESIDENT = "resident"  # device-only once staged (the Green tables)
+    SCRATCH = "scratch"  # device-only work arrays, never seen by the host
+
+
+@dataclass(frozen=True)
+class DeviceArray:
+    """An array participating in offloaded kernels."""
+
+    name: str
+    nbytes: float
+    direction: Direction = Direction.IN
+    #: Persistent arrays are allocated once per run (Green tables,
+    #: factorisations); non-persistent ones are allocated and freed every
+    #: ``pflux_`` call (Fortran work arrays) — the allocator-policy story.
+    persistent: bool = True
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise MemoryModelError(f"array {self.name!r} with nbytes={self.nbytes}")
+
+
+def _transfer_seconds(arch: GPUArchitecture, nbytes: float) -> float:
+    return nbytes / (arch.host_link_gbs * 1e9)
+
+
+class UnifiedMemory:
+    """Page-migrating unified memory over an allocator model."""
+
+    def __init__(
+        self,
+        arch: GPUArchitecture,
+        allocator: AllocatorModel,
+        clock: Clock,
+        counters: CounterSet,
+    ) -> None:
+        if not arch.unified_memory:
+            raise MemoryModelError(f"{arch.name} offers no unified memory")
+        self.arch = arch
+        self.allocator = allocator
+        self.clock = clock
+        self.counters = counters
+        #: Device-resident allocation identities.
+        self._resident: set[tuple[str, int]] = set()
+        #: Generations that have faulted onto the device before.  Fault
+        #: (mapping/registration) cost is paid once per generation; later
+        #: re-migrations of the same pages are pure transfers.  This is
+        #: exactly why the Cray trim-on-free allocator hurts: every call
+        #: produces never-before-seen pages.
+        self._ever_faulted: set[tuple[str, int]] = set()
+
+    def _fault_pages(self, alloc: Allocation) -> int:
+        """Fault batches charged for one array touch: the driver coalesces
+        contiguous faults, so the count is capped per array."""
+        pages = max(1, math.ceil(alloc.nbytes / self.arch.page_bytes))
+        return min(pages, self.arch.fault_batch_pages)
+
+    def _migrate(self, alloc: Allocation, *, to_device: bool, transfer: bool = True) -> None:
+        seconds = 0.0
+        if alloc.key not in self._ever_faulted:
+            pages = self._fault_pages(alloc)
+            seconds += pages * self.arch.page_fault_us * 1e-6
+            self.counters.page_faults += pages
+            self._ever_faulted.add(alloc.key)
+        if transfer:
+            seconds += _transfer_seconds(self.arch, alloc.nbytes)
+            if to_device:
+                self.counters.h2d_bytes += alloc.nbytes
+            else:
+                self.counters.d2h_bytes += alloc.nbytes
+        self.clock.advance(seconds)
+        self.counters.migrations += 1
+
+    def device_touch(self, allocations: list[tuple[Allocation, Direction]]) -> None:
+        """Fault in whatever the device is about to access."""
+        for alloc, direction in allocations:
+            if alloc.key in self._resident:
+                continue
+            if direction in (Direction.OUT, Direction.SCRATCH):
+                # Populated on the device: no host->device transfer, but
+                # fresh pages still fault (allocation + mapping cost) — the
+                # Figure 4 mechanism for the per-call work arrays.
+                self._migrate(alloc, to_device=True, transfer=False)
+            else:
+                self._migrate(alloc, to_device=True)
+            self._resident.add(alloc.key)
+
+    def host_touch(self, allocations: list[tuple[Allocation, Direction]]) -> None:
+        """The host reads results / rewrites inputs after kernels ran."""
+        for alloc, direction in allocations:
+            if direction in (Direction.RESIDENT, Direction.SCRATCH):
+                continue  # the host never touches these between calls
+            if alloc.key not in self._resident:
+                continue
+            if direction in (Direction.OUT, Direction.INOUT):
+                self._migrate(alloc, to_device=False)
+            # Host write invalidates device residency either way; the next
+            # device access re-migrates.
+            self._resident.discard(alloc.key)
+
+    def is_resident(self, alloc: Allocation) -> bool:
+        return alloc.key in self._resident
+
+
+class ExplicitDataEnvironment:
+    """``target data`` semantics for devices without unified memory."""
+
+    def __init__(self, arch: GPUArchitecture, clock: Clock, counters: CounterSet) -> None:
+        self.arch = arch
+        self.clock = clock
+        self.counters = counters
+        self._staged: set[str] = set()
+
+    def enter(self, arrays: list[DeviceArray]) -> None:
+        """Region entry: copy ``map(to:)``-style arrays to the device."""
+        for arr in arrays:
+            if arr.name in self._staged:
+                raise MapError(f"array {arr.name!r} already mapped")
+            if arr.direction in (Direction.IN, Direction.INOUT, Direction.RESIDENT):
+                self.clock.advance(_transfer_seconds(self.arch, arr.nbytes))
+                self.counters.h2d_bytes += arr.nbytes
+            self._staged.add(arr.name)
+
+    def exit(self, arrays: list[DeviceArray]) -> None:
+        """Region exit: copy ``map(from:)``-style arrays back."""
+        for arr in arrays:
+            if arr.name not in self._staged:
+                raise MapError(f"array {arr.name!r} not mapped")
+            if arr.direction in (Direction.OUT, Direction.INOUT):
+                self.clock.advance(_transfer_seconds(self.arch, arr.nbytes))
+                self.counters.d2h_bytes += arr.nbytes
+            self._staged.discard(arr.name)
+
+    def implicit_kernel_maps(self, arrays: list[DeviceArray]) -> None:
+        """What happens *without* a data region: every kernel copies its
+        unstaged operands in and its outputs out (Section 6.2's "continue
+        copies of data from host to GPUs and vice-versa")."""
+        for arr in arrays:
+            if arr.name in self._staged:
+                continue
+            if arr.direction in (Direction.IN, Direction.INOUT, Direction.RESIDENT):
+                self.clock.advance(_transfer_seconds(self.arch, arr.nbytes))
+                self.counters.h2d_bytes += arr.nbytes
+            if arr.direction in (Direction.OUT, Direction.INOUT):
+                self.clock.advance(_transfer_seconds(self.arch, arr.nbytes))
+                self.counters.d2h_bytes += arr.nbytes
+
+    def is_staged(self, name: str) -> bool:
+        return name in self._staged

@@ -1,0 +1,17 @@
+"""Small shared utilities: physical constants, formatting, statistics."""
+
+from repro.utils.constants import MU0, TWO_PI
+from repro.utils.tables import Table, format_seconds, format_bytes, format_speedup
+from repro.utils.stats import geomean, relative_error, within_factor
+
+__all__ = [
+    "MU0",
+    "TWO_PI",
+    "Table",
+    "format_seconds",
+    "format_bytes",
+    "format_speedup",
+    "geomean",
+    "relative_error",
+    "within_factor",
+]

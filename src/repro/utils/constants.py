@@ -1,0 +1,25 @@
+"""Physical and numeric constants used throughout the library."""
+
+from __future__ import annotations
+
+import math
+
+#: Vacuum permeability [H/m].
+MU0: float = 4.0e-7 * math.pi
+
+#: 2*pi, spelled out for readability in flux <-> flux-per-radian conversions.
+TWO_PI: float = 2.0 * math.pi
+
+#: Bytes in one FP64 word.
+FP64_BYTES: int = 8
+
+#: Conventional SI prefixes for bandwidth/FLOP formatting.
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+#: Bytes per KiB/MiB/GiB (binary prefixes used for capacities).
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3

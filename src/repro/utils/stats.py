@@ -1,0 +1,47 @@
+"""Statistics helpers used by the study driver and the test suite."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+__all__ = ["geomean", "relative_error", "within_factor"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    Used for aggregating speedups across grid sizes, where an arithmetic mean
+    would overweight the largest grids.
+    """
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean of an empty sequence")
+    if any(v <= 0.0 for v in vals):
+        raise ValueError("geomean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """|measured - reference| / |reference| (reference must be nonzero)."""
+    if reference == 0.0:
+        raise ValueError("relative_error with zero reference")
+    return abs(measured - reference) / abs(reference)
+
+
+def within_factor(measured: float, reference: float, factor: float) -> bool:
+    """True when ``measured`` is within a multiplicative ``factor`` of
+    ``reference`` (both strictly positive).
+
+    This is the paper-shape acceptance test used throughout EXPERIMENTS.md:
+    ``within_factor(x, y, 2.0)`` means ``y/2 <= x <= 2*y``.
+    """
+    if measured <= 0.0 or reference <= 0.0:
+        raise ValueError("within_factor requires positive values")
+    if factor < 1.0:
+        raise ValueError("factor must be >= 1")
+    ratio = measured / reference
+    # Tiny slack keeps exact-boundary comparisons symmetric under float
+    # rounding (x*f/x can land a ulp above f).
+    eps = 1e-12
+    return 1.0 / factor * (1.0 - eps) <= ratio <= factor * (1.0 + eps)

@@ -1,0 +1,53 @@
+"""Shared fixtures.
+
+Expensive objects (the synthetic shot, Green tables, the reference
+machine) are session-scoped: they are deterministic and read-only in every
+test that uses them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.efit.grid import RZGrid
+from repro.efit.machine import diiid_like_machine
+from repro.efit.measurements import synthetic_shot_186610
+from repro.efit.solovev import SolovevEquilibrium
+from repro.efit.tables import cached_boundary_tables
+
+
+@pytest.fixture(scope="session")
+def machine():
+    return diiid_like_machine()
+
+
+@pytest.fixture(scope="session")
+def grid33():
+    return RZGrid(33, 33)
+
+
+@pytest.fixture(scope="session")
+def grid_rect():
+    """A deliberately non-square grid to catch nw/nh transposition bugs."""
+    return RZGrid(17, 23)
+
+
+@pytest.fixture(scope="session")
+def tables_rect(grid_rect):
+    return cached_boundary_tables(grid_rect)
+
+
+@pytest.fixture(scope="session")
+def solovev():
+    return SolovevEquilibrium.shaped()
+
+
+@pytest.fixture(scope="session")
+def shot33():
+    return synthetic_shot_186610(33)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(20230513)

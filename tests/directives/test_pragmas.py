@@ -1,0 +1,171 @@
+"""Tests of OpenACC/OpenMP pragma objects, parsing and round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.directives.openacc import (
+    AccEndKernels,
+    AccKernels,
+    AccLoop,
+    AccParallelLoop,
+    parse_acc,
+)
+from repro.directives.openmp import (
+    OmpEndTargetData,
+    OmpLoop,
+    OmpParallelDo,
+    OmpTargetData,
+    OmpTargetTeamsDistribute,
+    parse_omp,
+)
+from repro.errors import DirectiveParseError
+
+names = st.lists(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=10),
+    min_size=0,
+    max_size=3,
+    unique=True,
+).map(tuple)
+
+
+class TestAccRendering:
+    def test_paper_figure2_pragmas(self):
+        """The exact directives of the paper's Figure 2."""
+        outer = AccParallelLoop(gang=True, worker=True, num_workers=4, vector_length=32)
+        assert (
+            outer.to_pragma()
+            == "!$acc parallel loop gang worker num_workers(4) vector_length(32)"
+        )
+        inner = AccLoop(vector=True, reduction=("tempsum1", "tempsum2"))
+        assert inner.to_pragma() == "!$acc loop vector reduction(+:tempsum1,tempsum2)"
+
+    def test_kernel_pair(self):
+        assert AccKernels().to_pragma() == "!$acc kernel"
+        assert AccEndKernels().to_pragma() == "!$acc end kernel"
+
+    def test_invalid_clause_values(self):
+        with pytest.raises(DirectiveParseError):
+            AccParallelLoop(num_workers=0)
+        with pytest.raises(DirectiveParseError):
+            AccParallelLoop(vector_length=-1)
+
+
+class TestAccParsing:
+    @pytest.mark.parametrize(
+        "pragma",
+        [
+            "!$acc kernel",
+            "!$acc end kernel",
+            "!$acc parallel loop gang worker",
+            "!$acc parallel loop gang worker num_workers(4) vector_length(64)",
+            "!$acc loop vector reduction(+:tempsum1,tempsum2)",
+        ],
+    )
+    def test_roundtrip(self, pragma):
+        assert parse_acc(pragma).to_pragma() == pragma
+
+    def test_whitespace_tolerant(self):
+        d = parse_acc("  !$acc   parallel   loop  gang  worker ")
+        assert isinstance(d, AccParallelLoop) and d.gang and d.worker
+
+    def test_rejects_non_acc(self):
+        with pytest.raises(DirectiveParseError):
+            parse_acc("!$omp target teams distribute")
+        with pytest.raises(DirectiveParseError):
+            parse_acc("do i=1,n")
+
+    def test_rejects_unknown_clause(self):
+        with pytest.raises(DirectiveParseError):
+            parse_acc("!$acc parallel loop gang fancy_clause")
+
+    @given(
+        st.booleans(),
+        st.booleans(),
+        st.one_of(st.none(), st.integers(min_value=1, max_value=1024)),
+        st.one_of(st.none(), st.integers(min_value=1, max_value=1024)),
+        names,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_roundtrip(self, gang, worker, nw, vl, reduction):
+        d = AccParallelLoop(
+            gang=gang, worker=worker, num_workers=nw, vector_length=vl, reduction=reduction
+        )
+        assert parse_acc(d.to_pragma()) == d
+
+
+class TestOmpRendering:
+    def test_paper_figure3_pragmas(self):
+        outer = OmpTargetTeamsDistribute(reduction=("tempsum1", "tempsum2"))
+        assert (
+            outer.to_pragma()
+            == "!$omp target teams distribute reduction(+:tempsum1,tempsum2)"
+        )
+        inner = OmpParallelDo(reduction=("tempsum1", "tempsum2"), collapse=2)
+        assert (
+            inner.to_pragma()
+            == "!$omp parallel do reduction(+:tempsum1,tempsum2) collapse(2)"
+        )
+
+    def test_fused_form(self):
+        d = OmpTargetTeamsDistribute(parallel_do=True, collapse=2)
+        assert d.to_pragma() == "!$omp target teams distribute parallel do collapse(2)"
+
+    def test_target_data_maps(self):
+        d = OmpTargetData(map_to=("gridpc", "pcurr"), map_from=("psi",))
+        assert d.to_pragma() == "!$omp target data map(to:gridpc,pcurr) map(from:psi)"
+        assert OmpEndTargetData().to_pragma() == "!$omp end target data"
+
+    def test_empty_data_region_rejected(self):
+        with pytest.raises(DirectiveParseError):
+            OmpTargetData()
+
+    def test_collapse_validation(self):
+        with pytest.raises(DirectiveParseError):
+            OmpParallelDo(collapse=1)
+
+
+class TestOmpParsing:
+    @pytest.mark.parametrize(
+        "pragma",
+        [
+            "!$omp target teams distribute parallel do collapse(2)",
+            "!$omp target teams distribute reduction(+:tempsum1,tempsum2)",
+            "!$omp parallel do reduction(+:tempsum1,tempsum2) collapse(2)",
+            "!$omp loop",
+            "!$omp target data map(to:gridpc,pcurr) map(from:psi)",
+            "!$omp end target data",
+        ],
+    )
+    def test_roundtrip(self, pragma):
+        assert parse_omp(pragma).to_pragma() == pragma
+
+    def test_rejects_non_omp(self):
+        with pytest.raises(DirectiveParseError):
+            parse_omp("!$acc kernel")
+
+    def test_rejects_unknown_clauses(self):
+        with pytest.raises(DirectiveParseError):
+            parse_omp("!$omp parallel do schedule(dynamic)")
+        with pytest.raises(DirectiveParseError):
+            parse_omp("!$omp target teams distribute simd")
+
+    @given(st.booleans(), st.one_of(st.none(), st.integers(min_value=2, max_value=6)), names)
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip_ttd(self, parallel_do, collapse, reduction):
+        d = OmpTargetTeamsDistribute(
+            parallel_do=parallel_do, collapse=collapse, reduction=reduction
+        )
+        assert parse_omp(d.to_pragma()) == d
+
+    @given(names, names)
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip_target_data(self, to, frm):
+        if not to and not frm:
+            return
+        d = OmpTargetData(map_to=to, map_from=frm)
+        assert parse_omp(d.to_pragma()) == d
+
+    def test_model_attribute(self):
+        assert OmpLoop().model == "openmp"
+        assert AccKernels().model == "openacc"

@@ -1,0 +1,72 @@
+"""Tests of the a-file scalar-results record."""
+
+import pytest
+
+from repro.efit.afile import AFile, afile_from_fit, read_afile, write_afile
+from repro.efit.fitting import EfitSolver
+from repro.errors import EqdskError
+
+
+@pytest.fixture(scope="module")
+def afile(shot33):
+    result = EfitSolver(shot33.machine, shot33.diagnostics, shot33.grid).fit(
+        shot33.measurements
+    )
+    return afile_from_fit(shot33, result), result
+
+
+class TestContent:
+    def test_identifiers(self, afile):
+        a, _ = afile
+        assert a.shot == 186610
+        assert a.time_ms == 2400.0
+
+    def test_scalars_consistent_with_fit(self, afile):
+        a, result = afile
+        assert a.ipmeas == pytest.approx(result.ip)
+        assert a.rmaxis == pytest.approx(result.boundary.r_axis)
+        assert a.chisq == pytest.approx(result.chi2)
+        assert a.iterations == result.iterations
+        assert a.converged
+
+    def test_physics_ranges(self, afile):
+        a, _ = afile
+        assert 1.4 < a.rgeo < 1.9
+        assert 0.3 < a.aminor < 0.8
+        assert 1.0 < a.kappa < 2.3
+        assert 0.1 < a.betap < 2.0
+        assert 0.3 < a.ali < 2.0
+        assert a.q95 > 1.0
+        assert a.wplasm > 0 and a.volume > 0
+
+
+class TestRoundTrip:
+    def test_file_roundtrip(self, afile, tmp_path):
+        a, _ = afile
+        path = tmp_path / "a186610.02400"
+        write_afile(a, path)
+        back = read_afile(path)
+        for name in ("shot", "iterations", "converged"):
+            assert getattr(back, name) == getattr(a, name)
+        for name in ("ipmeas", "kappa", "betap", "q95", "wplasm"):
+            assert getattr(back, name) == pytest.approx(getattr(a, name), rel=1e-8)
+
+    def test_file_is_greppable(self, afile, tmp_path):
+        a, _ = afile
+        path = tmp_path / "a.txt"
+        write_afile(a, path)
+        text = path.read_text()
+        assert "betap = " in text and "q95 = " in text
+        assert "# m^3" in text  # units documented
+
+    def test_malformed_line_rejected(self, tmp_path):
+        p = tmp_path / "a.bad"
+        p.write_text("this is not a record\n")
+        with pytest.raises(EqdskError):
+            read_afile(p)
+
+    def test_missing_field_rejected(self, tmp_path):
+        p = tmp_path / "a.partial"
+        p.write_text("shot = 1\n")
+        with pytest.raises(EqdskError):
+            read_afile(p)

@@ -1,0 +1,127 @@
+"""Tests of flux-surface tracing and the q profile."""
+
+import numpy as np
+import pytest
+
+from repro.efit.contours import FluxSurface, trace_flux_surface
+from repro.efit.measurements import synthetic_shot_186610
+from repro.efit.qprofile import (
+    QProfile,
+    q_from_toroidal_flux,
+    safety_factor,
+    toroidal_flux,
+)
+from repro.errors import BoundaryError
+
+
+@pytest.fixture(scope="module")
+def shot65():
+    return synthetic_shot_186610(65)
+
+
+@pytest.fixture(scope="module")
+def eq(shot65):
+    tr = shot65.truth
+    return shot65.grid, tr.psi, tr.boundary, shot65.machine.f_vacuum
+
+
+class TestSurfaceTracing:
+    def test_points_on_level(self, eq):
+        g, psi, b, _ = eq
+        surf = trace_flux_surface(g, b, 0.5, n_theta=64)
+        vals = g.bilinear(b.psin, surf.r, surf.z)
+        assert np.abs(vals - 0.5).max() < 1e-6
+
+    def test_surfaces_nested(self, eq):
+        g, psi, b, _ = eq
+        inner = trace_flux_surface(g, b, 0.3)
+        outer = trace_flux_surface(g, b, 0.8)
+        assert inner.area < outer.area
+        assert inner.perimeter < outer.perimeter
+        assert inner.volume < outer.volume
+
+    def test_surface_encloses_axis(self, eq):
+        g, psi, b, _ = eq
+        surf = trace_flux_surface(g, b, 0.4)
+        # Axis strictly inside the surface polygon bounding box.
+        assert surf.r.min() < b.r_axis < surf.r.max()
+        assert surf.z.min() < b.z_axis < surf.z.max()
+
+    def test_area_scaling_near_axis(self, eq):
+        """Near the axis, psiN ~ quadratic in minor radius: the area of
+        the psiN = s surface scales ~ s."""
+        g, psi, b, _ = eq
+        a1 = trace_flux_surface(g, b, 0.1).area
+        a2 = trace_flux_surface(g, b, 0.2).area
+        assert a2 / a1 == pytest.approx(2.0, rel=0.25)
+
+    def test_invalid_levels_rejected(self, eq):
+        g, psi, b, _ = eq
+        for bad in (0.0, -0.5, 1.2):
+            with pytest.raises(BoundaryError):
+                trace_flux_surface(g, b, bad)
+        with pytest.raises(BoundaryError):
+            trace_flux_surface(g, b, 0.5, n_theta=4)
+
+    def test_circle_geometry_analytics(self):
+        """FluxSurface geometry on an exact circle polygon."""
+        theta = np.linspace(0, 2 * np.pi, 400, endpoint=False)
+        surf = FluxSurface(0.5, 2.0 + 0.5 * np.cos(theta), 0.5 * np.sin(theta))
+        assert surf.perimeter == pytest.approx(2 * np.pi * 0.5, rel=1e-3)
+        assert surf.area == pytest.approx(np.pi * 0.25, rel=1e-3)
+        # Pappus: V = 2 pi R0 * A
+        assert surf.volume == pytest.approx(2 * np.pi * 2.0 * np.pi * 0.25, rel=1e-3)
+
+
+class TestQProfile:
+    def test_methods_agree(self, eq):
+        """Line-integral q vs toroidal-flux-derivative q: independent
+        formulations must agree (mask quantisation limits the finite grid)."""
+        g, psi, b, f_vac = eq
+        levels = np.array([0.3, 0.5, 0.8])
+        q_line = safety_factor(g, psi, b, lambda x: f_vac, levels)
+        q_flux = q_from_toroidal_flux(
+            g, b, np.vectorize(lambda x: f_vac), levels, dlevel=0.1
+        )
+        assert np.all(np.abs(q_flux / q_line - 1.0) < 0.12)
+
+    def test_q_positive_and_increasing_outward(self, eq):
+        g, psi, b, f_vac = eq
+        prof = QProfile.compute(g, psi, b, lambda x: f_vac, n_levels=16)
+        assert (prof.q > 0).all()
+        # monotone outward for this peaked current profile
+        assert prof.q[-1] > prof.q[0]
+
+    def test_q_scales_with_field(self, eq):
+        """q is linear in F at fixed equilibrium flux."""
+        g, psi, b, f_vac = eq
+        levels = np.array([0.5])
+        q1 = safety_factor(g, psi, b, lambda x: f_vac, levels)[0]
+        q2 = safety_factor(g, psi, b, lambda x: 2 * f_vac, levels)[0]
+        assert q2 == pytest.approx(2 * q1, rel=1e-12)
+
+    def test_q95_interpolation(self, eq):
+        g, psi, b, f_vac = eq
+        prof = QProfile.compute(g, psi, b, lambda x: f_vac, n_levels=16)
+        assert prof.levels[0] < 0.95 < prof.levels[-1] + 0.03
+        assert prof.q.min() <= prof.q95 <= prof.q.max() + 1e-9
+
+    def test_uniform_grid_output(self, eq):
+        g, psi, b, f_vac = eq
+        prof = QProfile.compute(g, psi, b, lambda x: f_vac, n_levels=12)
+        qpsi = prof.on_uniform_grid(65)
+        assert qpsi.shape == (65,)
+        assert np.all(np.isfinite(qpsi)) and np.all(qpsi > 0)
+
+    def test_toroidal_flux_monotone(self, eq):
+        g, psi, b, f_vac = eq
+        f = np.vectorize(lambda x: f_vac)
+        phis = [toroidal_flux(g, b, f, lv) for lv in (0.2, 0.5, 0.8, 1.0)]
+        assert all(a < b2 for a, b2 in zip(phis, phis[1:]))
+
+    def test_level_validation(self, eq):
+        g, psi, b, f_vac = eq
+        with pytest.raises(BoundaryError):
+            safety_factor(g, psi, b, lambda x: f_vac, np.array([1.5]))
+        with pytest.raises(BoundaryError):
+            toroidal_flux(g, b, np.vectorize(lambda x: f_vac), -0.1)

@@ -1,0 +1,135 @@
+"""Tests of current_ (current distribution) and green_ (response/LSQ)."""
+
+import numpy as np
+import pytest
+
+from repro.efit.basis import PolynomialBasis
+from repro.efit.current import basis_current_matrix, distribute_current
+from repro.efit.grid import RZGrid
+from repro.efit.response import (
+    ResponseAssembly,
+    assemble_response,
+    chi_squared,
+    solve_weighted_lsq,
+)
+from repro.errors import FittingError
+from repro.utils.constants import MU0
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = RZGrid(21, 25)
+    rng = np.random.default_rng(3)
+    psin = np.clip(((g.rr - 1.7) ** 2 + g.zz**2) / 0.5, 0, 2)
+    mask = psin < 1.0
+    return g, psin, mask, rng
+
+
+class TestCurrentMatrix:
+    def test_shape_and_mask(self, setup):
+        g, psin, mask, _ = setup
+        pp, ffp = PolynomialBasis(2), PolynomialBasis(3)
+        jm = basis_current_matrix(g, psin, mask, pp, ffp)
+        assert jm.shape == (g.size, 5)
+        outside = ~g.flatten(mask.astype(bool))
+        assert np.allclose(jm[outside], 0.0)
+
+    def test_pp_column_formula(self, setup):
+        g, psin, mask, _ = setup
+        pp, ffp = PolynomialBasis(2), PolynomialBasis(2)
+        jm = basis_current_matrix(g, psin, mask, pp, ffp)
+        i, j = 10, 12
+        assert mask[i, j]
+        k = g.flat_index(i, j)
+        x = np.clip(psin[i, j], 0, 1)
+        # column 1: R * x * dA
+        assert jm[k, 1] == pytest.approx(g.r[i] * x * g.cell_area)
+        # column 2 (first FF'): dA / (mu0 R)
+        assert jm[k, 2] == pytest.approx(g.cell_area / (MU0 * g.r[i]))
+
+    def test_distribute_current_totals(self, setup):
+        g, psin, mask, _ = setup
+        pp, ffp = PolynomialBasis(2), PolynomialBasis(2)
+        coeffs = np.array([1e5, -0.5e5, 0.8, -0.6])
+        pcurr, jphi = distribute_current(g, psin, mask, pp, ffp, coeffs)
+        assert pcurr.shape == g.shape
+        assert np.allclose(pcurr / g.cell_area, jphi)
+        assert pcurr[~mask].sum() == 0.0
+
+    def test_coefficient_length_validated(self, setup):
+        g, psin, mask, _ = setup
+        with pytest.raises(FittingError):
+            distribute_current(g, psin, mask, PolynomialBasis(2), PolynomialBasis(2), np.ones(3))
+
+    def test_shape_validated(self, setup):
+        g, psin, mask, _ = setup
+        with pytest.raises(FittingError):
+            basis_current_matrix(g, psin[:5], mask, PolynomialBasis(2), PolynomialBasis(2))
+
+
+class TestAssembly:
+    def _make(self, setup, noise=0.0):
+        g, psin, mask, rng = setup
+        pp, ffp = PolynomialBasis(2), PolynomialBasis(2)
+        jm = basis_current_matrix(g, psin, mask, pp, ffp)
+        n_meas, n_coils = 30, 4
+        grid_resp = rng.normal(size=(n_meas, g.size))
+        coil_resp = rng.normal(size=(n_meas, n_coils))
+        coil_i = rng.normal(size=n_coils) * 1e3
+        truth = np.array([2e5, -1e5, 1.0, -0.7])
+        data = grid_resp @ (jm @ truth) + coil_resp @ coil_i
+        sigma = np.full(n_meas, max(np.abs(data).max() * 1e-4, 1e-12))
+        if noise:
+            data = data + rng.normal(0.0, noise * np.abs(data).max(), n_meas)
+        asm = assemble_response(grid_resp, jm, coil_resp, coil_i, data, sigma)
+        return asm, truth
+
+    def test_recovers_exact_coefficients(self, setup):
+        asm, truth = self._make(setup)
+        c = solve_weighted_lsq(asm)
+        assert np.allclose(c, truth, rtol=1e-6)
+        assert chi_squared(asm, c) < 1e-10 * chi_squared(asm, np.zeros_like(c))
+
+    def test_ridge_does_not_crush_weak_columns(self, setup):
+        """Regression test for the column-scaling bug: p' coefficients are
+        ~1e5 while FF' are ~1; the equilibrated ridge must not bias them."""
+        asm, truth = self._make(setup)
+        c = solve_weighted_lsq(asm, ridge=1e-10)
+        assert np.allclose(c, truth, rtol=1e-4)
+
+    def test_lsq_never_beats_truth_by_construction(self, setup):
+        asm, truth = self._make(setup, noise=1e-3)
+        c = solve_weighted_lsq(asm)
+        assert chi_squared(asm, c) <= chi_squared(asm, truth) * (1 + 1e-9)
+
+    def test_weights_influence_solution(self, setup):
+        asm, truth = self._make(setup, noise=5e-2)
+        # Up-weight the first half of the measurements heavily.
+        w = asm.weights.copy()
+        w[: w.size // 2] *= 100.0
+        asm2 = ResponseAssembly(asm.matrix, asm.data, w)
+        c1 = solve_weighted_lsq(asm)
+        c2 = solve_weighted_lsq(asm2)
+        assert not np.allclose(c1, c2)
+
+    def test_negative_ridge_rejected(self, setup):
+        asm, _ = self._make(setup)
+        with pytest.raises(FittingError):
+            solve_weighted_lsq(asm, ridge=-1.0)
+
+    def test_dimension_validation(self, setup):
+        g, psin, mask, rng = setup
+        jm = basis_current_matrix(g, psin, mask, PolynomialBasis(2), PolynomialBasis(2))
+        grid_resp = rng.normal(size=(10, g.size))
+        with pytest.raises(FittingError):
+            assemble_response(grid_resp, jm[:-1], np.zeros((10, 2)), np.zeros(2), np.zeros(10), np.ones(10))
+        with pytest.raises(FittingError):
+            assemble_response(grid_resp, jm, np.zeros((10, 2)), np.zeros(2), np.zeros(9), np.ones(9))
+        with pytest.raises(FittingError):
+            assemble_response(grid_resp, jm, np.zeros((10, 2)), np.zeros(2), np.zeros(10), np.zeros(10))
+
+    def test_assembly_validation(self):
+        with pytest.raises(FittingError):
+            ResponseAssembly(np.zeros((4, 2)), np.zeros(3), np.ones(4))
+        with pytest.raises(FittingError):
+            ResponseAssembly(np.zeros((4, 2)), np.zeros(4), -np.ones(4))

@@ -1,0 +1,106 @@
+"""Tests of magnetic diagnostics and response matrices."""
+
+import numpy as np
+import pytest
+
+from repro.efit.diagnostics import DiagnosticSet, FluxLoop, MagneticProbe, RogowskiCoil
+from repro.efit.greens import greens_br, greens_bz, greens_psi
+from repro.errors import MeasurementError
+
+
+class TestFluxLoop:
+    def test_grid_response_matches_green(self, grid33):
+        loop = FluxLoop("L", 2.3, 0.5)
+        resp = loop.response_to_grid(grid33)
+        assert resp.shape == grid33.shape
+        assert resp[4, 7] == pytest.approx(
+            greens_psi(2.3, 0.5, grid33.r[4], grid33.z[7])
+        )
+
+    def test_invalid_position(self):
+        with pytest.raises(MeasurementError):
+            FluxLoop("L", -1.0, 0.0)
+
+    def test_coil_response_length(self, machine):
+        loop = FluxLoop("L", 2.3, 0.5)
+        assert loop.response_to_coils(machine).shape == (machine.n_coils,)
+
+
+class TestProbe:
+    def test_angle_decomposition(self, grid33):
+        r, z = 2.3, 0.4
+        radial = MagneticProbe("PR", r, z, 0.0).response_to_grid(grid33)
+        vertical = MagneticProbe("PZ", r, z, np.pi / 2).response_to_grid(grid33)
+        assert radial[5, 5] == pytest.approx(greens_br(r, z, grid33.r[5], grid33.z[5]))
+        assert vertical[5, 5] == pytest.approx(greens_bz(r, z, grid33.r[5], grid33.z[5]))
+
+    def test_oblique_probe_combination(self, grid33):
+        r, z, a = 2.3, 0.4, 0.7
+        probe = MagneticProbe("P", r, z, a).response_to_grid(grid33)
+        br = MagneticProbe("PR", r, z, 0.0).response_to_grid(grid33)
+        bz = MagneticProbe("PZ", r, z, np.pi / 2).response_to_grid(grid33)
+        assert np.allclose(probe, np.cos(a) * br + np.sin(a) * bz)
+
+
+class TestRogowski:
+    def test_measures_total_current(self, grid33, rng):
+        rog = RogowskiCoil()
+        resp = rog.response_to_grid(grid33)
+        pcurr = rng.normal(size=grid33.shape)
+        assert np.sum(resp * pcurr) == pytest.approx(pcurr.sum())
+
+    def test_excludes_coils(self, machine):
+        assert np.array_equal(RogowskiCoil().response_to_coils(machine), np.zeros(18))
+
+
+class TestDiagnosticSet:
+    @pytest.fixture(scope="class")
+    def diags(self, machine):
+        return DiagnosticSet.for_machine(machine, n_flux_loops=12, n_probes=16)
+
+    def test_counts(self, diags):
+        assert diags.n_measurements == 12 + 16 + 1
+        assert len(diags.names) == diags.n_measurements
+        assert diags.names[-1] == "IP"
+
+    def test_positions_outside_limiter(self, machine, diags):
+        for loop in diags.flux_loops:
+            assert not bool(machine.limiter.contains(loop.r, loop.z))
+
+    def test_positions_inside_box(self, machine, diags):
+        rmin, rmax, zmin, zmax = machine.default_box
+        for d in list(diags.flux_loops) + list(diags.probes):
+            assert rmin < d.r < rmax and zmin < d.z < zmax
+
+    def test_response_matrix_rows(self, machine, diags, grid33):
+        g = machine.make_grid(17)
+        resp = diags.response_to_grid(g)
+        assert resp.shape == (diags.n_measurements, g.size)
+        # Last row is the Rogowski: all ones.
+        assert np.allclose(resp[-1], 1.0)
+        # First row matches the first flux loop's field.
+        assert np.allclose(resp[0], g.flatten(diags.flux_loops[0].response_to_grid(g)))
+
+    def test_coil_response_shape(self, machine, diags):
+        resp = diags.response_to_coils(machine)
+        assert resp.shape == (diags.n_measurements, machine.n_coils)
+        assert np.allclose(resp[-1], 0.0)
+
+    def test_measurement_linearity(self, machine, diags, rng):
+        """Diagnostics are linear: response to a sum is the sum of
+        responses (superposition of sources)."""
+        g = machine.make_grid(17)
+        resp = diags.response_to_grid(g)
+        a = rng.normal(size=g.size)
+        b = rng.normal(size=g.size)
+        assert np.allclose(resp @ (a + b), resp @ a + resp @ b)
+
+    def test_too_few_diagnostics_rejected(self, machine):
+        with pytest.raises(MeasurementError):
+            DiagnosticSet.for_machine(machine, n_flux_loops=2, n_probes=16)
+
+    def test_duplicate_names_rejected(self):
+        loop = FluxLoop("X", 2.0, 0.0)
+        probe = MagneticProbe("X", 2.0, 0.1, 0.0)
+        with pytest.raises(MeasurementError):
+            DiagnosticSet((loop,), (probe,), RogowskiCoil())

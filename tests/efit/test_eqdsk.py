@@ -1,0 +1,106 @@
+"""Tests of g-EQDSK file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.efit.eqdsk import GEqdsk, read_geqdsk, write_geqdsk
+from repro.errors import EqdskError
+
+
+@pytest.fixture()
+def sample(rng):
+    nw, nh = 9, 7
+    return GEqdsk(
+        description="repro test equilibrium  #186610  2400ms",
+        nw=nw,
+        nh=nh,
+        rdim=1.7,
+        zdim=3.2,
+        rcentr=1.6955,
+        rleft=0.84,
+        zmid=0.0,
+        rmaxis=1.69,
+        zmaxis=0.01,
+        simag=0.51,
+        sibry=0.12,
+        bcentr=2.0,
+        current=1.0e6,
+        fpol=rng.normal(size=nw),
+        pres=np.abs(rng.normal(size=nw)),
+        ffprim=rng.normal(size=nw),
+        pprime=rng.normal(size=nw),
+        psirz=rng.normal(size=(nw, nh)),
+        qpsi=np.linspace(1.0, 4.0, nw),
+        rbbbs=np.linspace(1.0, 2.0, 12),
+        zbbbs=np.linspace(-1.0, 1.0, 12),
+        rlim=np.linspace(1.0, 2.3, 8),
+        zlim=np.linspace(-1.2, 1.2, 8),
+    )
+
+
+class TestRoundTrip:
+    def test_all_fields_preserved(self, sample, tmp_path):
+        path = tmp_path / "g186610.02400"
+        write_geqdsk(sample, path)
+        back = read_geqdsk(path)
+        assert back.nw == sample.nw and back.nh == sample.nh
+        for name in ("rdim", "zdim", "rcentr", "rleft", "zmid", "rmaxis",
+                     "zmaxis", "simag", "sibry", "bcentr", "current"):
+            assert getattr(back, name) == pytest.approx(getattr(sample, name), rel=1e-9)
+        for name in ("fpol", "pres", "ffprim", "pprime", "qpsi", "psirz",
+                     "rbbbs", "zbbbs", "rlim", "zlim"):
+            assert np.allclose(getattr(back, name), getattr(sample, name), rtol=1e-8)
+
+    def test_description_preserved(self, sample, tmp_path):
+        path = tmp_path / "g.txt"
+        write_geqdsk(sample, path)
+        assert "186610" in read_geqdsk(path).description
+
+    def test_file_is_five_columns(self, sample, tmp_path):
+        path = tmp_path / "g.txt"
+        write_geqdsk(sample, path)
+        body = path.read_text().splitlines()[1:]
+        numeric = [ln for ln in body if "E" in ln]
+        assert all(len(ln) <= 5 * 16 for ln in numeric)
+
+    def test_psirz_orientation(self, sample, tmp_path):
+        """psirz must come back (nw, nh), written Z-fastest."""
+        path = tmp_path / "g.txt"
+        write_geqdsk(sample, path)
+        back = read_geqdsk(path)
+        assert back.psirz.shape == (sample.nw, sample.nh)
+        assert back.psirz[3, 2] == pytest.approx(sample.psirz[3, 2], rel=1e-8)
+
+
+class TestValidation:
+    def test_profile_length_checked(self, sample):
+        with pytest.raises(EqdskError):
+            GEqdsk(**{**sample.__dict__, "fpol": np.zeros(3)})
+
+    def test_psirz_shape_checked(self, sample):
+        with pytest.raises(EqdskError):
+            GEqdsk(**{**sample.__dict__, "psirz": np.zeros((3, 3))})
+
+    def test_boundary_length_mismatch(self, sample):
+        with pytest.raises(EqdskError):
+            GEqdsk(**{**sample.__dict__, "rbbbs": np.zeros(5), "zbbbs": np.zeros(4)})
+
+    def test_empty_file_rejected(self, tmp_path):
+        p = tmp_path / "empty"
+        p.write_text("")
+        with pytest.raises(EqdskError):
+            read_geqdsk(p)
+
+    def test_truncated_file_rejected(self, sample, tmp_path):
+        path = tmp_path / "g.txt"
+        write_geqdsk(sample, path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(EqdskError):
+            read_geqdsk(path)
+
+    def test_malformed_header(self, tmp_path):
+        p = tmp_path / "g.bad"
+        p.write_text("not a header line\n")
+        with pytest.raises(EqdskError):
+            read_geqdsk(p)

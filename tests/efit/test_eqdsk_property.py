@@ -1,0 +1,68 @@
+"""Property-based round-trip testing of the g-EQDSK format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.efit.eqdsk import GEqdsk, read_geqdsk, write_geqdsk
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def profile_arrays(nw):
+    return hnp.arrays(np.float64, (nw,), elements=finite)
+
+
+@st.composite
+def geqdsk_records(draw):
+    nw = draw(st.integers(min_value=3, max_value=12))
+    nh = draw(st.integers(min_value=3, max_value=12))
+    nb = draw(st.integers(min_value=0, max_value=10))
+    nl = draw(st.integers(min_value=0, max_value=6))
+    return GEqdsk(
+        description=draw(st.text(alphabet="abcXYZ 0123#", max_size=40)),
+        nw=nw,
+        nh=nh,
+        rdim=draw(finite),
+        zdim=draw(finite),
+        rcentr=draw(finite),
+        rleft=draw(finite),
+        zmid=draw(finite),
+        rmaxis=draw(finite),
+        zmaxis=draw(finite),
+        simag=draw(finite),
+        sibry=draw(finite),
+        bcentr=draw(finite),
+        current=draw(finite),
+        fpol=draw(profile_arrays(nw)),
+        pres=draw(profile_arrays(nw)),
+        ffprim=draw(profile_arrays(nw)),
+        pprime=draw(profile_arrays(nw)),
+        psirz=draw(hnp.arrays(np.float64, (nw, nh), elements=finite)),
+        qpsi=draw(profile_arrays(nw)),
+        rbbbs=draw(hnp.arrays(np.float64, (nb,), elements=finite)),
+        zbbbs=draw(hnp.arrays(np.float64, (nb,), elements=finite)),
+        rlim=draw(hnp.arrays(np.float64, (nl,), elements=finite)),
+        zlim=draw(hnp.arrays(np.float64, (nl,), elements=finite)),
+    )
+
+
+@given(geqdsk_records())
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_preserves_everything(tmp_path_factory, eq):
+    path = tmp_path_factory.mktemp("eqdsk") / "g.prop"
+    write_geqdsk(eq, path)
+    back = read_geqdsk(path)
+    assert back.nw == eq.nw and back.nh == eq.nh
+    for name in ("rdim", "zdim", "rcentr", "rleft", "zmid", "rmaxis",
+                 "zmaxis", "simag", "sibry", "bcentr", "current"):
+        assert getattr(back, name) == pytest.approx(getattr(eq, name), rel=1e-8, abs=1e-12)
+    for name in ("fpol", "pres", "ffprim", "pprime", "qpsi", "psirz",
+                 "rbbbs", "zbbbs", "rlim", "zlim"):
+        a, b = getattr(eq, name), getattr(back, name)
+        assert a.shape == b.shape
+        assert np.allclose(a, b, rtol=1e-8, atol=1e-12)

@@ -1,0 +1,120 @@
+"""Failure injection: corrupted inputs must fail loudly and cleanly.
+
+A reconstruction code ingests hardware signals; sensor dropouts, railed
+channels and wrong coil bookkeeping are routine.  The library must turn
+them into typed errors or visibly bad fit statistics — never into silent
+NaN propagation.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.efit.fitting import EfitSolver
+from repro.efit.measurements import MeasurementSet
+from repro.errors import FittingError, MeasurementError, ReproError
+
+
+@pytest.fixture()
+def solver(shot33):
+    return EfitSolver(shot33.machine, shot33.diagnostics, shot33.grid)
+
+
+def _with_values(measurements, values):
+    return MeasurementSet(
+        values=values,
+        uncertainties=measurements.uncertainties.copy(),
+        coil_currents=measurements.coil_currents.copy(),
+        names=measurements.names,
+    )
+
+
+class TestCorruptMeasurements:
+    def test_nan_rejected_at_construction(self, shot33):
+        values = shot33.measurements.values.copy()
+        values[3] = np.nan
+        with pytest.raises(MeasurementError):
+            _with_values(shot33.measurements, values)
+
+    def test_inf_rejected_at_construction(self, shot33):
+        values = shot33.measurements.values.copy()
+        values[7] = np.inf
+        with pytest.raises(MeasurementError):
+            _with_values(shot33.measurements, values)
+
+    def test_nan_coil_currents_rejected(self, shot33):
+        m = shot33.measurements
+        with pytest.raises(MeasurementError):
+            MeasurementSet(
+                values=m.values.copy(),
+                uncertainties=m.uncertainties.copy(),
+                coil_currents=np.full_like(m.coil_currents, np.nan),
+                names=m.names,
+            )
+
+    def test_drifted_channel_shows_in_chi2(self, solver, shot33):
+        """A probe with a moderate calibration drift: the fit survives and
+        chi^2 exposes the outlier."""
+        values = shot33.measurements.values.copy()
+        values[45] = values[45] + 20.0 * shot33.measurements.uncertainties[45]
+        bad = _with_values(shot33.measurements, values)
+        res = solver.fit(bad, require_convergence=False)
+        clean = solver.fit(shot33.measurements)
+        assert res.chi2 > clean.chi2 + 100.0  # ~20-sigma outlier -> +O(400)
+
+    def test_railed_channel_fails_loudly(self, solver, shot33):
+        """A hard-railed probe (100x signal) drives the Picard loop into an
+        unphysical state; the library must raise a typed error rather than
+        return NaN garbage."""
+        values = shot33.measurements.values.copy()
+        values[45] = 100.0 * max(abs(values[45]), 1e-3)
+        bad = _with_values(shot33.measurements, values)
+        try:
+            res = solver.fit(bad, require_convergence=False)
+        except ReproError:
+            return  # loud, typed failure: correct
+        assert not res.converged or res.chi2 > 1e4
+
+    def test_dead_rogowski_overridden_by_other_channels(self, solver, shot33):
+        """Rogowski reads 0 while 100 other channels see a 1 MA plasma:
+        the weighted fit must either fail loudly or side with the
+        majority — recovering the true current and flagging the dead
+        channel through an enormous chi^2."""
+        values = shot33.measurements.values.copy()
+        values[-1] = 0.0
+        bad = _with_values(shot33.measurements, values)
+        try:
+            res = solver.fit(bad, require_convergence=False)
+        except (FittingError, ReproError):
+            return  # loud failure is acceptable
+        clean = solver.fit(shot33.measurements)
+        assert res.ip == pytest.approx(clean.ip, rel=0.05)  # majority wins
+        assert res.chi2 > 100.0 * clean.chi2  # the dead channel is exposed
+
+    def test_wrong_coil_sign_degrades_visibly(self, solver, shot33):
+        """Sign-flipped coil bookkeeping: the fit cannot match the data."""
+        m = shot33.measurements
+        bad = MeasurementSet(
+            values=m.values.copy(),
+            uncertainties=m.uncertainties.copy(),
+            coil_currents=-m.coil_currents,
+            names=m.names,
+        )
+        try:
+            res = solver.fit(bad, require_convergence=False)
+        except ReproError:
+            return  # failing loudly is acceptable
+        clean = solver.fit(m)
+        assert (not res.converged) or res.chi2 > 100.0 * clean.chi2
+
+
+class TestCorruptConfiguration:
+    def test_initial_psi_wrong_shape(self, solver, shot33):
+        with pytest.raises(FittingError):
+            solver.fit(shot33.measurements, psi_initial=np.zeros((5, 5)))
+
+    def test_initial_psi_nonfinite(self, solver, shot33):
+        bad = np.full(shot33.grid.shape, np.nan)
+        with pytest.raises(FittingError):
+            solver.fit(shot33.measurements, psi_initial=bad, require_convergence=False)

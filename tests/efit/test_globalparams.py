@@ -1,0 +1,109 @@
+"""Tests of the global parameters (beta_p, li, stored energy)."""
+
+import numpy as np
+import pytest
+
+from repro.efit.globalparams import compute_global_parameters
+from repro.efit.measurements import synthetic_shot_186610
+from repro.efit.profiles import ProfileCoefficients
+from repro.errors import BoundaryError
+
+
+@pytest.fixture(scope="module")
+def eq65():
+    shot = synthetic_shot_186610(65)
+    return shot, shot.truth
+
+
+class TestPlausibility:
+    def test_diiid_scale_values(self, eq65):
+        shot, tr = eq65
+        g = compute_global_parameters(shot.grid, tr.psi, tr.boundary, tr.profiles, tr.ip)
+        assert 0.1 < g.beta_poloidal < 2.0
+        assert 0.3 < g.internal_inductance < 2.0
+        assert 5.0 < g.volume_m3 < 30.0  # DIII-D plasma ~ 17 m^3
+        assert 1e4 < g.stored_energy_joules < 1e7
+        assert 3.0 < g.lcfs_perimeter_m < 8.0
+
+    def test_pressure_positive(self, eq65):
+        shot, tr = eq65
+        g = compute_global_parameters(shot.grid, tr.psi, tr.boundary, tr.profiles, tr.ip)
+        assert g.average_pressure_pa > 0
+        assert g.bp_average_tesla > 0
+
+
+class TestScalings:
+    def test_betap_linear_in_pressure(self, eq65):
+        """At fixed fields, scaling p' scales beta_p and W linearly."""
+        shot, tr = eq65
+        base = compute_global_parameters(shot.grid, tr.psi, tr.boundary, tr.profiles, tr.ip)
+        doubled = ProfileCoefficients(
+            tr.profiles.pp_basis,
+            tr.profiles.ffp_basis,
+            2.0 * tr.profiles.alpha,
+            tr.profiles.beta,
+        )
+        scaled = compute_global_parameters(shot.grid, tr.psi, tr.boundary, doubled, tr.ip)
+        assert scaled.beta_poloidal == pytest.approx(2.0 * base.beta_poloidal, rel=1e-9)
+        assert scaled.stored_energy_joules == pytest.approx(
+            2.0 * base.stored_energy_joules, rel=1e-9
+        )
+        assert scaled.internal_inductance == pytest.approx(base.internal_inductance)
+
+    def test_betap_inverse_square_in_current(self, eq65):
+        """beta_p ~ 1/Ip^2 at fixed pressure and geometry."""
+        shot, tr = eq65
+        base = compute_global_parameters(shot.grid, tr.psi, tr.boundary, tr.profiles, tr.ip)
+        half = compute_global_parameters(
+            shot.grid, tr.psi, tr.boundary, tr.profiles, tr.ip / 2.0
+        )
+        assert half.beta_poloidal == pytest.approx(4.0 * base.beta_poloidal, rel=1e-9)
+
+    def test_fit_reproduces_truth_globals(self, eq65):
+        """The reconstruction's global parameters match the ground truth's."""
+        from repro.efit.fitting import EfitSolver
+
+        shot, tr = eq65
+        res = EfitSolver(shot.machine, shot.diagnostics, shot.grid).fit(shot.measurements)
+        g_fit = compute_global_parameters(
+            shot.grid, res.psi, res.boundary, res.profiles, res.ip
+        )
+        g_true = compute_global_parameters(shot.grid, tr.psi, tr.boundary, tr.profiles, tr.ip)
+        assert g_fit.beta_poloidal == pytest.approx(g_true.beta_poloidal, rel=0.05)
+        assert g_fit.internal_inductance == pytest.approx(
+            g_true.internal_inductance, rel=0.05
+        )
+
+
+class TestValidation:
+    def test_zero_current_rejected(self, eq65):
+        shot, tr = eq65
+        with pytest.raises(BoundaryError):
+            compute_global_parameters(shot.grid, tr.psi, tr.boundary, tr.profiles, 0.0)
+
+
+class TestResolutionSweep:
+    def test_accuracy_improves_with_resolution(self):
+        from repro.efit.resolution import resolution_sweep
+
+        pts = resolution_sweep((33, 65))
+        assert pts[1].psi_rms_vs_truth < pts[0].psi_rms_vs_truth
+        # chi^2 approaches the statistical expectation as the grid refines
+        assert pts[1].chi2 < pts[0].chi2
+
+    def test_derived_quantities_stable(self):
+        from repro.efit.resolution import resolution_sweep
+
+        pts = resolution_sweep((33, 65))
+        assert pts[0].q95 == pytest.approx(pts[1].q95, rel=0.05)
+        assert pts[0].kappa == pytest.approx(pts[1].kappa, rel=0.05)
+        assert pts[0].beta_poloidal == pytest.approx(pts[1].beta_poloidal, rel=0.05)
+
+    def test_validation(self):
+        from repro.efit.resolution import resolution_sweep
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            resolution_sweep((65,))
+        with pytest.raises(ReproError):
+            resolution_sweep((65, 33))

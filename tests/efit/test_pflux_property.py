@@ -1,0 +1,67 @@
+"""Property-based tests of the full pflux_ pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.efit.grid import RZGrid
+from repro.efit.operators import GradShafranovOperator
+from repro.efit.pflux import PfluxVectorized, boundary_flux_vectorized
+from repro.efit.solvers import make_solver
+from repro.efit.tables import cached_boundary_tables
+from repro.utils.constants import MU0
+
+GRID = RZGrid(13, 17)
+TABLES = cached_boundary_tables(GRID)
+SOLVER = make_solver("direct", GRID)
+OP = GradShafranovOperator(GRID)
+
+currents = hnp.arrays(
+    np.float64,
+    GRID.shape,
+    elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False),
+)
+
+
+@given(currents)
+@settings(max_examples=40, deadline=None)
+def test_gs_equation_satisfied_for_any_current(pcurr):
+    """Whatever the current distribution, the computed flux satisfies the
+    discrete GS equation with that source in the interior."""
+    pflux = PfluxVectorized(GRID, TABLES, SOLVER)
+    psi = pflux.compute(pcurr)
+    rhs = -(MU0 / GRID.cell_area) * GRID.rr * pcurr
+    res = OP.residual(psi, rhs)
+    scale = max(np.abs(rhs).max(), 1e-30)
+    assert np.abs(res[1:-1, 1:-1]).max() <= 1e-8 * scale + 1e-18
+
+
+@given(currents, st.floats(min_value=-3, max_value=3))
+@settings(max_examples=30, deadline=None)
+def test_flux_scales_linearly_with_current(pcurr, scale):
+    pflux = PfluxVectorized(GRID, TABLES, SOLVER)
+    a = pflux.compute(pcurr)
+    b = pflux.compute(scale * pcurr)
+    assert np.allclose(b, scale * a, rtol=1e-10, atol=1e-16)
+
+
+@given(currents)
+@settings(max_examples=30, deadline=None)
+def test_updown_symmetry_preserved(pcurr):
+    """A Z-symmetric current on a Z-symmetric grid gives Z-symmetric flux."""
+    sym = 0.5 * (pcurr + pcurr[:, ::-1])
+    psi = PfluxVectorized(GRID, TABLES, SOLVER).compute(sym)
+    assert np.allclose(psi, psi[:, ::-1], rtol=1e-9, atol=1e-15)
+
+
+@given(currents)
+@settings(max_examples=30, deadline=None)
+def test_boundary_kernel_sign_convention(pcurr):
+    """The paper kernel computes -sum(G * pcurr); G > 0, so a nonnegative
+    current gives a nonpositive edge result."""
+    nonneg = np.abs(pcurr)
+    edge = boundary_flux_vectorized(TABLES, nonneg)
+    assert (edge[0, :] <= 1e-18).all()
+    assert (edge[:, -1] <= 1e-18).all()

@@ -1,0 +1,132 @@
+"""Tests of the interior Grad-Shafranov solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.efit.grid import RZGrid
+from repro.efit.operators import GradShafranovOperator
+from repro.efit.solvers import (
+    SOLVER_NAMES,
+    ConjugateGradientSolver,
+    DirectLUSolver,
+    DSTSolver,
+    make_solver,
+)
+from repro.efit.solvers.dst import thomas_multi_rhs
+from repro.errors import SolverError
+
+
+@pytest.fixture(scope="module", params=SOLVER_NAMES)
+def any_solver(request):
+    return make_solver(request.param, RZGrid(19, 33))
+
+
+class TestFactory:
+    def test_known_names(self):
+        g = RZGrid(9, 9)
+        assert isinstance(make_solver("direct", g), DirectLUSolver)
+        assert isinstance(make_solver("dst", g), DSTSolver)
+        assert isinstance(make_solver("cg", g), ConjugateGradientSolver)
+
+    def test_unknown_name(self):
+        with pytest.raises(SolverError):
+            make_solver("multigrid", RZGrid(9, 9))
+
+
+class TestSolovevExactness:
+    """All solvers reproduce the Solov'ev equilibrium to round-off: the
+    conservative stencil is exact on its polynomial family."""
+
+    def test_exact(self, any_solver, solovev):
+        g = any_solver.grid
+        psi_exact = solovev.psi(g.rr, g.zz)
+        rhs = solovev.delta_star(g.rr, g.zz)
+        psi = any_solver.solve(rhs, psi_exact)
+        assert np.abs(psi - psi_exact).max() < 1e-9 * np.abs(psi_exact).max() + 1e-12
+
+
+class TestCrossAgreement:
+    def test_all_solvers_agree_on_random_data(self, rng):
+        g = RZGrid(14, 17)  # nh = 2^4 + 1: cyclic-reduction compatible
+        rhs = rng.normal(size=g.shape)
+        bdry = rng.normal(size=g.shape)
+        sols = [make_solver(name, g).solve(rhs, bdry) for name in SOLVER_NAMES]
+        for other in sols[1:]:
+            assert np.allclose(sols[0], other, rtol=1e-8, atol=1e-10)
+
+    def test_solution_satisfies_operator(self, any_solver, rng):
+        g = any_solver.grid
+        rhs = rng.normal(size=g.shape)
+        bdry = rng.normal(size=g.shape)
+        psi = any_solver.solve(rhs, bdry)
+        op = GradShafranovOperator(g)
+        res = op.residual(psi, rhs)
+        scale = max(np.abs(rhs).max(), 1.0)
+        assert np.abs(res[1:-1, 1:-1]).max() < 1e-7 * scale
+
+    def test_boundary_values_preserved(self, any_solver, rng):
+        g = any_solver.grid
+        bdry = rng.normal(size=g.shape)
+        psi = any_solver.solve(np.zeros(g.shape), bdry)
+        assert np.array_equal(psi[0, :], bdry[0, :])
+        assert np.array_equal(psi[-1, :], bdry[-1, :])
+        assert np.array_equal(psi[:, 0], bdry[:, 0])
+        assert np.array_equal(psi[:, -1], bdry[:, -1])
+
+
+class TestLinearity:
+    @given(st.floats(min_value=-5, max_value=5), st.floats(min_value=-5, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_superposition(self, a, b):
+        g = RZGrid(11, 13)
+        solver = make_solver("dst", g)
+        rng = np.random.default_rng(7)
+        rhs1, rhs2 = rng.normal(size=(2, *g.shape))
+        zero = np.zeros(g.shape)
+        combo = solver.solve(a * rhs1 + b * rhs2, zero)
+        parts = a * solver.solve(rhs1, zero) + b * solver.solve(rhs2, zero)
+        assert np.allclose(combo, parts, rtol=1e-9, atol=1e-9)
+
+
+class TestMaximumPrinciple:
+    def test_zero_rhs_bounded_by_boundary(self, any_solver, rng):
+        """With no source, the solution obeys a discrete maximum principle."""
+        g = any_solver.grid
+        bdry = rng.normal(size=g.shape)
+        psi = any_solver.solve(np.zeros(g.shape), bdry)
+        edge = np.concatenate([bdry[0, :], bdry[-1, :], bdry[:, 0], bdry[:, -1]])
+        assert psi.max() <= edge.max() + 1e-9
+        assert psi.min() >= edge.min() - 1e-9
+
+
+class TestThomas:
+    def test_against_dense_solve(self, rng):
+        n, m = 12, 5
+        lower = rng.normal(size=n)
+        upper = rng.normal(size=n)
+        diag = rng.normal(size=(n, m)) + 6.0  # diagonally dominant
+        rhs = rng.normal(size=(n, m))
+        x = thomas_multi_rhs(lower, diag, upper, rhs)
+        for k in range(m):
+            mat = np.diag(diag[:, k]) + np.diag(upper[:-1], 1) + np.diag(lower[1:], -1)
+            assert np.allclose(mat @ x[:, k], rhs[:, k], atol=1e-9)
+
+    def test_shape_validation(self):
+        with pytest.raises(SolverError):
+            thomas_multi_rhs(np.zeros(3), np.ones((3, 2)), np.zeros(4), np.ones((3, 2)))
+
+
+class TestNonSquare:
+    @pytest.mark.parametrize("name", SOLVER_NAMES)
+    def test_rectangular_grids(self, name, solovev):
+        g = RZGrid(13, 33)
+        solver = make_solver(name, g)
+        psi_exact = solovev.psi(g.rr, g.zz)
+        psi = solver.solve(solovev.delta_star(g.rr, g.zz), psi_exact)
+        assert np.abs(psi - psi_exact).max() < 1e-8
+
+    def test_shape_mismatch_rejected(self, any_solver):
+        with pytest.raises(Exception):
+            any_solver.solve(np.zeros((3, 3)), np.zeros((3, 3)))

@@ -1,0 +1,203 @@
+"""Tests of the allocator model and unified-memory simulation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MapError, MemoryModelError
+from repro.hardware.amd import mi250x_gcd
+from repro.hardware.intel import pvc_stack
+from repro.hardware.nvidia import a100
+from repro.profiling.timer import VirtualClock
+from repro.runtime.allocator import AllocationPolicy, AllocatorModel
+from repro.runtime.counters import CounterSet
+from repro.runtime.memory import (
+    DeviceArray,
+    Direction,
+    ExplicitDataEnvironment,
+    UnifiedMemory,
+)
+
+
+class TestAllocator:
+    def test_arena_reuse_keeps_generation(self):
+        alloc = AllocatorModel(AllocationPolicy.ARENA_REUSE)
+        a1 = alloc.allocate("work", 1024)
+        alloc.free("work")
+        a2 = alloc.allocate("work", 1024)
+        assert a1.generation == a2.generation == 0
+
+    def test_trim_on_free_bumps_generation(self):
+        alloc = AllocatorModel(AllocationPolicy.TRIM_ON_FREE)
+        gens = []
+        for _ in range(3):
+            a = alloc.allocate("work", 1024)
+            gens.append(a.generation)
+            alloc.free("work")
+        assert gens == [0, 1, 2]
+
+    def test_double_allocate_rejected(self):
+        alloc = AllocatorModel(AllocationPolicy.ARENA_REUSE)
+        alloc.allocate("x", 8)
+        with pytest.raises(MemoryModelError):
+            alloc.allocate("x", 8)
+
+    def test_free_unallocated_rejected(self):
+        with pytest.raises(MemoryModelError):
+            AllocatorModel(AllocationPolicy.ARENA_REUSE).free("x")
+
+    def test_zero_bytes_rejected(self):
+        with pytest.raises(MemoryModelError):
+            AllocatorModel(AllocationPolicy.ARENA_REUSE).allocate("x", 0)
+
+    def test_live_lookup(self):
+        alloc = AllocatorModel(AllocationPolicy.ARENA_REUSE)
+        a = alloc.allocate("x", 8)
+        assert alloc.live("x") == a
+        alloc.free("x")
+        assert not alloc.is_live("x")
+        with pytest.raises(MemoryModelError):
+            alloc.live("x")
+
+    @given(st.integers(min_value=1, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_generation_counts_frees(self, n):
+        alloc = AllocatorModel(AllocationPolicy.TRIM_ON_FREE)
+        for _ in range(n):
+            alloc.allocate("w", 64)
+            alloc.free("w")
+        assert alloc.allocate("w", 64).generation == n
+
+
+def make_um(arch=None, policy=AllocationPolicy.ARENA_REUSE):
+    arch = arch if arch is not None else a100()
+    clock = VirtualClock()
+    counters = CounterSet()
+    allocator = AllocatorModel(policy)
+    return UnifiedMemory(arch, allocator, clock, counters), allocator, clock, counters
+
+
+class TestUnifiedMemory:
+    def test_requires_um_capable_device(self):
+        alloc = AllocatorModel(AllocationPolicy.ARENA_REUSE)
+        with pytest.raises(MemoryModelError):
+            UnifiedMemory(pvc_stack(), alloc, VirtualClock(), CounterSet())
+
+    def test_first_touch_migrates_then_cached(self):
+        um, alloc, clock, counters = make_um()
+        a = alloc.allocate("pcurr", 1 << 20)
+        um.device_touch([(a, Direction.IN)])
+        t1 = clock.now()
+        assert t1 > 0 and counters.h2d_bytes == 1 << 20
+        um.device_touch([(a, Direction.IN)])
+        assert clock.now() == t1  # resident: no cost
+
+    def test_out_arrays_fault_without_transfer(self):
+        um, alloc, clock, counters = make_um()
+        a = alloc.allocate("psi", 1 << 20)
+        um.device_touch([(a, Direction.OUT)])
+        assert counters.h2d_bytes == 0
+        assert counters.page_faults > 0
+
+    def test_host_read_of_output_migrates_back(self):
+        um, alloc, clock, counters = make_um()
+        a = alloc.allocate("psi", 1 << 20)
+        um.device_touch([(a, Direction.OUT)])
+        um.host_touch([(a, Direction.OUT)])
+        assert counters.d2h_bytes == 1 << 20
+        assert not um.is_resident(a)
+
+    def test_host_touch_skips_resident_and_scratch(self):
+        um, alloc, clock, counters = make_um()
+        g = alloc.allocate("gridpc", 1 << 24)
+        w = alloc.allocate("work", 1 << 16)
+        um.device_touch([(g, Direction.RESIDENT), (w, Direction.SCRATCH)])
+        before = clock.now()
+        um.host_touch([(g, Direction.RESIDENT), (w, Direction.SCRATCH)])
+        assert clock.now() == before
+        assert um.is_resident(g) and um.is_resident(w)
+
+    def test_fault_cost_paid_once_per_generation(self):
+        """Re-migration of known pages is transfer-only — the reason
+        ARENA_REUSE steady state is cheap."""
+        um, alloc, clock, counters = make_um()
+        a = alloc.allocate("pcurr", 10 << 20)
+        um.device_touch([(a, Direction.IN)])
+        faults_first = counters.page_faults
+        um.host_touch([(a, Direction.IN)])  # invalidates residency
+        um.device_touch([(a, Direction.IN)])
+        assert counters.page_faults == faults_first  # no new faults
+
+    def test_trim_policy_refaults_every_cycle(self):
+        um, alloc, clock, counters = make_um(policy=AllocationPolicy.TRIM_ON_FREE)
+        for cycle in range(3):
+            a = alloc.allocate("work", 1 << 20)
+            um.device_touch([(a, Direction.SCRATCH)])
+            alloc.free("work")
+        assert counters.migrations == 3
+        assert counters.page_faults >= 3
+
+    def test_fault_batching_caps_pages(self):
+        arch = mi250x_gcd()
+        um, alloc, clock, counters = make_um(arch=arch)
+        a = alloc.allocate("big", int(1e9))  # far more pages than the cap
+        um.device_touch([(a, Direction.SCRATCH)])
+        assert counters.page_faults <= arch.fault_batch_pages
+
+
+class TestExplicitEnvironment:
+    def make_env(self):
+        clock = VirtualClock()
+        counters = CounterSet()
+        return ExplicitDataEnvironment(pvc_stack(), clock, counters), clock, counters
+
+    def test_enter_transfers_inputs_only(self):
+        env, clock, counters = self.make_env()
+        arrays = [
+            DeviceArray("pcurr", 1 << 20, Direction.IN),
+            DeviceArray("psi", 1 << 20, Direction.OUT),
+        ]
+        env.enter(arrays)
+        assert counters.h2d_bytes == 1 << 20
+        assert counters.d2h_bytes == 0
+
+    def test_exit_transfers_outputs(self):
+        env, clock, counters = self.make_env()
+        arrays = [DeviceArray("psi", 1 << 20, Direction.OUT)]
+        env.enter(arrays)
+        env.exit(arrays)
+        assert counters.d2h_bytes == 1 << 20
+
+    def test_double_map_rejected(self):
+        env, *_ = self.make_env()
+        a = [DeviceArray("x", 8, Direction.IN)]
+        env.enter(a)
+        with pytest.raises(MapError):
+            env.enter(a)
+
+    def test_exit_unmapped_rejected(self):
+        env, *_ = self.make_env()
+        with pytest.raises(MapError):
+            env.exit([DeviceArray("x", 8, Direction.OUT)])
+
+    def test_implicit_maps_copy_both_ways(self):
+        """Without target data, an INOUT operand moves twice per kernel —
+        Section 6.2's 'continue copies' failure mode."""
+        env, clock, counters = self.make_env()
+        a = [DeviceArray("x", 1 << 20, Direction.INOUT)]
+        env.implicit_kernel_maps(a)
+        env.implicit_kernel_maps(a)
+        assert counters.h2d_bytes == 2 << 20
+        assert counters.d2h_bytes == 2 << 20
+
+    def test_implicit_maps_skip_staged(self):
+        env, clock, counters = self.make_env()
+        a = [DeviceArray("x", 1 << 20, Direction.INOUT)]
+        env.enter(a)
+        h2d = counters.h2d_bytes
+        env.implicit_kernel_maps(a)
+        assert counters.h2d_bytes == h2d  # staged: no extra copies
+
+    def test_device_array_validation(self):
+        with pytest.raises(MemoryModelError):
+            DeviceArray("x", 0.0)

@@ -1,0 +1,111 @@
+"""Stateful property testing of the unified-memory + allocator models.
+
+A random interleaving of allocate / device-touch / host-touch / free must
+never violate the model's invariants:
+
+* residency implies a live (or once-live) generation;
+* the clock is monotone;
+* counters only grow;
+* fault cost is paid at most once per (name, generation);
+* ARENA_REUSE never re-faults a reused allocation, TRIM_ON_FREE always
+  faults fresh generations.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.hardware.amd import mi250x_gcd
+from repro.profiling.timer import VirtualClock
+from repro.runtime.allocator import AllocationPolicy, AllocatorModel
+from repro.runtime.counters import CounterSet
+from repro.runtime.memory import Direction, UnifiedMemory
+
+NAMES = ["a", "b", "c", "work"]
+DIRECTIONS = [Direction.IN, Direction.OUT, Direction.INOUT, Direction.SCRATCH]
+
+
+class UnifiedMemoryMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.clock = VirtualClock()
+        self.counters = CounterSet()
+        self.allocator = AllocatorModel(AllocationPolicy.TRIM_ON_FREE)
+        self.um = UnifiedMemory(mi250x_gcd(), self.allocator, self.clock, self.counters)
+        self.live: dict[str, object] = {}
+        self.faulted_keys: set = set()
+        self.last_clock = 0.0
+        self.last_faults = 0
+
+    @rule(name=st.sampled_from(NAMES), kib=st.integers(min_value=1, max_value=4096))
+    def allocate(self, name, kib):
+        if name in self.live:
+            return
+        self.live[name] = self.allocator.allocate(name, kib * 1024.0)
+
+    @precondition(lambda self: bool(self.live))
+    @rule(direction=st.sampled_from(DIRECTIONS), data=st.data())
+    def device_touch(self, direction, data):
+        name = data.draw(st.sampled_from(sorted(self.live)))
+        alloc = self.live[name]
+        before = self.counters.page_faults
+        self.um.device_touch([(alloc, direction)])
+        if self.counters.page_faults > before:
+            # fault cost must be first-touch of this generation only
+            assert alloc.key not in self.faulted_keys
+            self.faulted_keys.add(alloc.key)
+        assert self.um.is_resident(alloc)
+
+    @precondition(lambda self: bool(self.live))
+    @rule(direction=st.sampled_from(DIRECTIONS), data=st.data())
+    def host_touch(self, direction, data):
+        name = data.draw(st.sampled_from(sorted(self.live)))
+        alloc = self.live[name]
+        self.um.host_touch([(alloc, direction)])
+        if direction in (Direction.IN, Direction.OUT, Direction.INOUT):
+            assert not self.um.is_resident(alloc)
+        else:
+            # RESIDENT/SCRATCH arrays are never invalidated by the host.
+            pass
+
+    @precondition(lambda self: bool(self.live))
+    @rule(data=st.data())
+    def free(self, data):
+        name = data.draw(st.sampled_from(sorted(self.live)))
+        self.allocator.free(name)
+        del self.live[name]
+
+    @invariant()
+    def clock_monotone(self):
+        now = self.clock.now()
+        assert now >= self.last_clock
+        self.last_clock = now
+
+    @invariant()
+    def counters_monotone(self):
+        assert self.counters.page_faults >= self.last_faults
+        self.last_faults = self.counters.page_faults
+        assert self.counters.h2d_bytes >= 0 and self.counters.d2h_bytes >= 0
+
+
+TestUnifiedMemoryMachine = UnifiedMemoryMachine.TestCase
+TestUnifiedMemoryMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+
+
+class TestArenaNeverRefaults:
+    def test_reuse_cycle(self):
+        clock = VirtualClock()
+        counters = CounterSet()
+        allocator = AllocatorModel(AllocationPolicy.ARENA_REUSE)
+        um = UnifiedMemory(mi250x_gcd(), allocator, clock, counters)
+        for cycle in range(5):
+            alloc = allocator.allocate("w", 1 << 20)
+            um.device_touch([(alloc, Direction.SCRATCH)])
+            allocator.free("w")
+        # One generation -> exactly one fault burst.
+        assert counters.migrations == 1

@@ -1,0 +1,93 @@
+"""Validation coverage for execution plans and executor bookkeeping."""
+
+import pytest
+
+from repro.directives.ir import AccessMode, ArrayRef, Loop, LoopNest
+from repro.errors import LaunchError
+from repro.hardware.nvidia import a100
+from repro.runtime.executor import OffloadExecutor
+from repro.runtime.kernel import ExecutionPlan
+
+
+def make_plan(**kw):
+    base = dict(
+        kernel_name="k",
+        teams=4,
+        threads_per_team=32,
+        traffic_factor=1.0,
+        compute_efficiency=0.5,
+        bandwidth_efficiency=0.5,
+    )
+    base.update(kw)
+    return ExecutionPlan(**base)
+
+
+class TestPlanValidation:
+    def test_empty_launch_rejected(self):
+        with pytest.raises(LaunchError):
+            make_plan(teams=0)
+        with pytest.raises(LaunchError):
+            make_plan(threads_per_team=0)
+
+    def test_nonpositive_traffic_rejected(self):
+        with pytest.raises(LaunchError):
+            make_plan(traffic_factor=0.0)
+
+    def test_efficiency_bounds(self):
+        with pytest.raises(LaunchError):
+            make_plan(compute_efficiency=1.5)
+        with pytest.raises(LaunchError):
+            make_plan(bandwidth_efficiency=0.0)
+
+    def test_launch_count(self):
+        with pytest.raises(LaunchError):
+            make_plan(launches=0)
+
+    def test_exposed_threads(self):
+        assert make_plan(teams=10, threads_per_team=64).exposed_threads == 640
+
+
+class TestWriteFractionSplit:
+    def _fraction(self, arrays):
+        nest = LoopNest("k", (Loop("i", 8),), 1.0, arrays=tuple(arrays))
+        return OffloadExecutor._write_fraction(nest)
+
+    def test_pure_read(self):
+        assert self._fraction([ArrayRef("a", 8, AccessMode.READ, 2.0)]) == 0.0
+
+    def test_pure_write(self):
+        assert self._fraction([ArrayRef("a", 8, AccessMode.WRITE, 1.0)]) == 1.0
+
+    def test_readwrite_splits_evenly(self):
+        assert self._fraction([ArrayRef("a", 8, AccessMode.READWRITE, 2.0)]) == 0.5
+
+    def test_mixed_weighted_by_volume(self):
+        frac = self._fraction(
+            [
+                ArrayRef("r", 8, AccessMode.READ, 3.0),
+                ArrayRef("w", 8, AccessMode.WRITE, 1.0),
+            ]
+        )
+        assert frac == pytest.approx(0.25)
+
+    def test_no_arrays_is_zero(self):
+        assert self._fraction([]) == 0.0
+
+
+class TestCounterSplitEndToEnd:
+    def test_read_write_counters_follow_declaration(self):
+        ex = OffloadExecutor(arch=a100())
+        nest = LoopNest(
+            "k",
+            (Loop("i", 1024),),
+            1.0,
+            arrays=(
+                ArrayRef("in", 1024, AccessMode.READ, 3.0),
+                ArrayRef("out", 1024, AccessMode.WRITE, 1.0),
+            ),
+        )
+        ex.begin_invocation([])
+        ex.launch(nest, make_plan(teams=1024, threads_per_team=1))
+        k = ex.counters.kernel("k")
+        assert k.dram_write_bytes == pytest.approx(0.25 * k.dram_bytes)
+        assert k.dram_read_bytes == pytest.approx(0.75 * k.dram_bytes)

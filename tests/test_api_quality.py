@@ -1,0 +1,77 @@
+"""API quality gates: docstrings, __all__ hygiene, error taxonomy.
+
+These meta-tests keep the library documentation honest as it grows:
+every public module, class and function must carry a docstring, every
+``__all__`` entry must exist, and every library error must derive from
+:class:`~repro.errors.ReproError`.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+from repro import errors
+
+MODULES = sorted(
+    m.name
+    for m in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not m.name.endswith("__main__")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    mod = importlib.import_module(module_name)
+    assert mod.__doc__ and mod.__doc__.strip(), f"{module_name} lacks a docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_entries_resolve(module_name):
+    mod = importlib.import_module(module_name)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module_name}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_callables_documented(module_name):
+    mod = importlib.import_module(module_name)
+    for name in getattr(mod, "__all__", []):
+        obj = getattr(mod, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if obj.__module__ != module_name:
+                continue  # re-export; documented at its home
+            assert obj.__doc__ and obj.__doc__.strip(), (
+                f"{module_name}.{name} lacks a docstring"
+            )
+
+
+def test_error_taxonomy_rooted():
+    for name in errors.__all__:
+        exc = getattr(errors, name)
+        assert issubclass(exc, Exception)
+        if exc is not errors.ReproError:
+            assert issubclass(exc, errors.ReproError), f"{name} escapes ReproError"
+
+
+def test_every_error_class_exported():
+    import inspect as _inspect
+
+    classes = {
+        name
+        for name, obj in vars(errors).items()
+        if _inspect.isclass(obj) and issubclass(obj, Exception)
+    }
+    assert classes == set(errors.__all__)
+
+
+def test_version_consistent():
+    from repro.version import __version__
+
+    assert repro.__version__ == __version__
+    parts = __version__.split(".")
+    assert len(parts) == 3 and all(p.isdigit() for p in parts)

@@ -1,0 +1,80 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+    def test_study_defaults(self):
+        args = build_parser().parse_args(["study"])
+        assert args.artifact == "all" and args.grids is None
+
+    def test_fit_options(self):
+        args = build_parser().parse_args(
+            ["fit", "--grid", "33", "--solver", "cyclic", "--geqdsk", "out.g"]
+        )
+        assert args.grid == 33 and args.solver == "cyclic" and args.geqdsk == "out.g"
+
+    def test_invalid_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fit", "--solver", "magic"])
+
+
+class TestCommands:
+    def test_version(self, capsys):
+        assert main(["version"]) == 0
+        from repro.version import __version__
+
+        assert capsys.readouterr().out.strip() == __version__
+
+    def test_sites(self, capsys):
+        assert main(["sites"]) == 0
+        out = capsys.readouterr().out
+        for name in ("perlmutter", "frontier", "sunspot"):
+            assert name in out
+        assert "break-even" in out
+
+    def test_census(self, capsys):
+        assert main(["census"]) == 0
+        out = capsys.readouterr().out
+        assert "!$acc kernel" in out and "!$omp target teams distribute" in out
+
+    def test_study_single_artifact_small_grids(self, capsys):
+        assert main(["study", "--artifact", "table7", "--grids", "65"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 7" in out and "65x65" in out
+
+    def test_study_fig7(self, capsys):
+        assert main(["study", "--artifact", "fig7", "--grids", "65", "129"]) == 0
+        assert "cpu optimized" in capsys.readouterr().out
+
+    def test_fit_writes_geqdsk(self, tmp_path, capsys):
+        out = tmp_path / "g.out"
+        assert main(["fit", "--grid", "33", "--geqdsk", str(out)]) == 0
+        assert out.exists()
+        text = capsys.readouterr().out
+        assert "converged: True" in text
+        # and the file round-trips
+        from repro.efit.eqdsk import read_geqdsk
+
+        eq = read_geqdsk(out)
+        assert eq.nw == 33 and eq.qpsi.shape == (33,)
+        assert (eq.qpsi > 0).all()
+
+
+def test_fit_writes_afile(tmp_path):
+    out = tmp_path / "a.out"
+    assert main(["fit", "--grid", "33", "--afile", str(out)]) == 0
+    from repro.efit.afile import read_afile
+
+    a = read_afile(out)
+    assert a.converged and a.q95 > 1.0
