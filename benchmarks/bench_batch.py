@@ -1,0 +1,118 @@
+"""Throughput benchmarks of the batched multi-slice engine.
+
+The headline contrast: a serial loop of ``EfitSolver.fit`` calls versus
+``BatchFitEngine.fit_many`` over the same slices at the paper's 65x65
+production grid.  The batched path amortises the limiter mask, coil flux
+tables and solver factorisation across slices and replaces per-slice
+boundary Green sums with one GEMM — the acceptance bar is >= 2x slices/s
+at B=8.  Results (slices/s vs batch size at 65^2 and 129^2) land in
+``results/batch_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchFitEngine, synthetic_slice_sequence
+from repro.efit.fitting import EfitSolver
+
+from benchmarks.conftest import write_artifact
+
+N_SLICES = 8
+
+
+@pytest.fixture(scope="module")
+def slices65(shot65):
+    return synthetic_slice_sequence(shot65, N_SLICES, seed=3)
+
+
+def _timed_run(engine, slices):
+    engine.fit_many(slices)  # warm the workspaces and caches
+    t0 = time.perf_counter()
+    batch = engine.fit_many(slices)
+    return time.perf_counter() - t0, batch
+
+
+def test_batch_vs_serial_65(shot65, slices65):
+    """The acceptance run: >= 2x slices/s at B=8 on 65^2, same psi."""
+    serial = EfitSolver(shot65.machine, shot65.diagnostics, shot65.grid)
+    serial.fit(slices65[0])  # warm the table cache
+    t0 = time.perf_counter()
+    serial_results = [serial.fit(m) for m in slices65]
+    t_serial = time.perf_counter() - t0
+
+    sweep: dict[str, dict] = {}
+    for bs in (1, 2, 4, 8):
+        engine = BatchFitEngine(
+            shot65.machine, shot65.diagnostics, shot65.grid, batch_size=bs
+        )
+        t_batch, batch = _timed_run(engine, slices65)
+        sweep[str(bs)] = {
+            "slices_per_second": batch.stats.slices_per_second,
+            "wall_seconds": t_batch,
+            "speedup_vs_serial": t_serial / t_batch,
+            "latency_p50_ms": 1e3 * batch.stats.latency_p50,
+            "latency_p95_ms": 1e3 * batch.stats.latency_p95,
+        }
+        if bs == 8:
+            max_rel = max(
+                float(np.max(np.abs(s.psi - b.psi)) / np.max(np.abs(s.psi)))
+                for s, b in zip(serial_results, batch.results)
+            )
+            counters = engine.workspace_counters()
+            sweep[str(bs)]["max_rel_psi_err"] = max_rel
+            # The three acceptance criteria of the batch engine:
+            assert t_serial / t_batch >= 2.0, sweep
+            assert max_rel <= 1e-10
+            assert counters.reuses > 0
+
+    artifact = {
+        "grid": "65x65",
+        "n_slices": N_SLICES,
+        "serial_wall_seconds": t_serial,
+        "serial_slices_per_second": N_SLICES / t_serial,
+        "batch": sweep,
+    }
+    write_artifact("batch_throughput", json.dumps(artifact, indent=2), suffix=".json")
+
+
+def test_batch_scaling_129():
+    """Batch-size scaling at 129^2 (fewer slices: each fit is ~10x 65^2).
+
+    No serial baseline here — B=1 through the engine is the reference, so
+    the numbers isolate what batching itself buys at a larger grid."""
+    from repro.efit.measurements import synthetic_shot_186610
+
+    shot = synthetic_shot_186610(129)
+    slices = synthetic_slice_sequence(shot, 4, seed=5)
+    sweep: dict[str, dict] = {}
+    for bs in (1, 4):
+        engine = BatchFitEngine(
+            shot.machine, shot.diagnostics, shot.grid, batch_size=bs
+        )
+        t_batch, batch = _timed_run(engine, slices)
+        sweep[str(bs)] = {
+            "slices_per_second": batch.stats.slices_per_second,
+            "wall_seconds": t_batch,
+        }
+    assert sweep["4"]["slices_per_second"] >= sweep["1"]["slices_per_second"] * 0.9
+    write_artifact(
+        "batch_throughput_129",
+        json.dumps({"grid": "129x129", "n_slices": 4, "batch": sweep}, indent=2),
+        suffix=".json",
+    )
+
+
+def test_engine_fit_many_65(benchmark, shot65, slices65):
+    """pytest-benchmark timing of the steady-state batched run."""
+    engine = BatchFitEngine(
+        shot65.machine, shot65.diagnostics, shot65.grid, batch_size=8
+    )
+    engine.fit_many(slices65)  # warm-up
+    result = benchmark(engine.fit_many, slices65)
+    benchmark.extra_info["slices_per_second"] = result.stats.slices_per_second
+    assert result.stats.n_converged == N_SLICES

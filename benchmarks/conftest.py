@@ -29,9 +29,9 @@ from repro.machines.site import ALL_SITES
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
-def write_artifact(name: str, text: str) -> None:
+def write_artifact(name: str, text: str, suffix: str = ".txt") -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    (RESULTS_DIR / f"{name}{suffix}").write_text(text + "\n")
     print("\n" + text)
 
 

@@ -11,7 +11,9 @@ Frontier, 8.7x on Sunspot.
 This example simulates a 250-slice between-shot analysis at each grid size
 and reports wall-clock per node for the CPU-only and GPU builds, plus the
 highest-resolution grid each node can turn around inside a 10-minute
-between-shot window.
+between-shot window.  (For the *real-execution* counterpart — actually
+reconstructing a slice sequence through the batched Python solver — see
+``examples/batch_throughput.py``.)
 
 Run:  python examples/realtime_throughput.py
 """

@@ -1,0 +1,271 @@
+"""The batched multi-slice reconstruction engine.
+
+One :class:`BatchFitEngine` owns everything a grid's worth of
+reconstructions can share — the boundary Green table, the dense edge-flux
+operator factored out of ``pflux_``, the interior-solver factorisation,
+the diagnostic response matrices and the :class:`~repro.efit.fitting.GridStatics`
+(limiter mask, limiter contour, coil flux tables).  ``fit_many`` then
+drives batches of ``B`` slices in lockstep Picard iteration:
+
+* the per-slice halves (``steps_``, ``current_``, ``green_``) run through
+  the same :class:`~repro.efit.fitting.EfitSolver` step machine the
+  serial path uses, so per-slice results match a serial
+  :meth:`~repro.efit.fitting.EfitSolver.fit` to round-off;
+* the ``pflux_`` half is batched: one
+  ``(n_edge, nw*nh) @ (nw*nh, B)`` GEMM computes every slice's boundary
+  Green sums at once, and one multi-RHS sine-transform solve handles all
+  interior systems;
+* every batch-level array lives in a per-worker
+  :class:`~repro.batch.workspace.FitWorkspace`, so steady-state iterates
+  allocate nothing.
+
+Worker threads (``n_workers``) pull batches from a queue; the heavy GEMM
+and FFT kernels release the GIL, so multi-core hosts overlap batches.
+Convergence is per-slice: a converged slice simply stops contributing
+fresh columns while the rest of its batch iterates on (its stale columns
+keep riding the fixed-shape GEMM, which keeps the steady state
+allocation-free — at 65x65 the whole batched boundary GEMM costs less
+than one slice's Python-side bookkeeping).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.batch.slices import BatchStats
+from repro.batch.workspace import FitWorkspace
+from repro.efit.diagnostics import DiagnosticSet
+from repro.efit.fitting import EfitSolver, FitResult, GridStatics
+from repro.efit.grid import RZGrid
+from repro.efit.machine import Tokamak
+from repro.efit.measurements import MeasurementSet
+from repro.efit.pflux import boundary_flux_operator, edge_flux_operator, edge_node_indices
+from repro.errors import FittingError
+from repro.profiling.regions import RegionProfiler
+from repro.runtime.counters import WorkspaceCounters
+from repro.utils.constants import MU0
+
+__all__ = ["BatchFitEngine", "BatchFitResult"]
+
+
+@dataclass(frozen=True)
+class BatchFitResult:
+    """Everything ``fit_many`` produces for one slice sequence."""
+
+    #: Per-slice reconstructions, in input order.
+    results: tuple[FitResult, ...]
+    #: Aggregate throughput statistics.
+    stats: BatchStats
+    #: Per-slice completion latency [s] measured from run start.
+    latencies: np.ndarray
+
+
+class BatchFitEngine:
+    """Reconstruct many time slices of one machine+grid concurrently.
+
+    Parameters
+    ----------
+    batch_size:
+        Number of slices advanced in lockstep per batched ``pflux_``
+        call (``B`` in the edge-operator GEMM).
+    n_workers:
+        Worker threads pulling batches off the queue.  Useful when BLAS
+        releases the GIL and cores are available; the default of 1 keeps
+        execution deterministic and single-core friendly.
+    solver_kwargs:
+        Forwarded to the underlying :class:`EfitSolver` (bases, solver
+        name, tolerances, ...).
+    """
+
+    def __init__(
+        self,
+        machine: Tokamak,
+        diagnostics: DiagnosticSet,
+        grid: RZGrid,
+        *,
+        batch_size: int = 8,
+        n_workers: int = 1,
+        **solver_kwargs,
+    ) -> None:
+        if batch_size < 1:
+            raise FittingError("batch_size must be >= 1")
+        if n_workers < 1:
+            raise FittingError("n_workers must be >= 1")
+        self.batch_size = batch_size
+        self.n_workers = n_workers
+        #: The shared per-grid setup: Green tables, solver factorisation,
+        #: response matrices — built once, reused by every worker.
+        self.solver = EfitSolver(machine, diagnostics, grid, **solver_kwargs)
+        self.statics = GridStatics.build(machine, grid)
+        #: The boundary Green sums factored into one dense operator.
+        self.edge_operator = edge_flux_operator(self.solver.tables)
+        self._edge_i, self._edge_j = edge_node_indices(grid.nw, grid.nh)
+        #: ``rhs = rhs_factor * pcurr`` — same association as the serial path.
+        self._rhs_factor = -(MU0 / grid.cell_area) * grid.rr
+        #: Per-worker arenas/profilers, persistent across ``fit_many``
+        #: calls so the steady state allocates nothing.
+        self._workspaces = [FitWorkspace() for _ in range(n_workers)]
+        self._profilers = [RegionProfiler() for _ in range(n_workers)]
+
+    # -- observability ------------------------------------------------------------
+    def workspace_counters(self) -> WorkspaceCounters:
+        """Aggregate allocation/reuse counters across all workers."""
+        agg = WorkspaceCounters()
+        for ws in self._workspaces:
+            c = ws.counters
+            agg.allocations += c.allocations
+            agg.reuses += c.reuses
+            agg.allocated_bytes += c.allocated_bytes
+            agg.resident_bytes += c.resident_bytes
+        return agg
+
+    def profiler_report(self):
+        """Region report of worker 0 (representative breakdown)."""
+        return self._profilers[0].report()
+
+    # -- the batched Picard loop ---------------------------------------------------
+    def _fit_batch(
+        self,
+        batch: Sequence[MeasurementSet],
+        ws: FitWorkspace,
+        profiler: RegionProfiler,
+        t_run0: float,
+        require_convergence: bool,
+    ) -> list[tuple[FitResult, float, int]]:
+        """Advance one batch of slices in lockstep to convergence."""
+        solver = self.solver
+        grid = solver.grid
+        nw, nh = grid.nw, grid.nh
+        nb = len(batch)
+        n_edge = self._edge_i.size
+
+        states = [
+            solver.start_fit(m, statics=self.statics, profiler=profiler) for m in batch
+        ]
+        # Fixed-capacity batch buffers, reused across iterates and batches;
+        # a ragged final batch takes views so the arena shapes never change.
+        cap = self.batch_size
+        pcurr_neg = ws.array("pcurr_neg", (grid.size, cap))[:, :nb]
+        edge = ws.array("edge_flux", (n_edge, cap))[:, :nb]
+        rhs = ws.array("rhs", (cap, nw, nh))[:nb]
+        psi_bound = ws.array("psi_boundary", (cap, nw, nh))[:nb]
+        psi_plasma = ws.array("psi_plasma", (cap, nw, nh))[:nb]
+        psi_new = ws.array("psi_new", (cap, nw, nh))[:nb]
+        psi_ext: list[np.ndarray | None] = [None] * nb
+
+        latencies = [0.0] * nb
+        active = list(range(nb))
+        for _ in range(solver.max_iters):
+            for k in active:
+                pcurr, psi_ext[k] = solver.iterate_pre(states[k], statics=self.statics)
+                # The serial path feeds ``-pcurr`` to the boundary kernel.
+                np.multiply(pcurr.reshape(grid.size), -1.0, out=pcurr_neg[:, k])
+                np.multiply(self._rhs_factor, pcurr, out=rhs[k])
+            with profiler.region("pflux_"):
+                # One GEMM for the whole batch's boundary Green sums ...
+                boundary_flux_operator(self.edge_operator, pcurr_neg, out=edge)
+                psi_bound[:, self._edge_i, self._edge_j] = edge.T
+                # ... and one multi-RHS sweep for all interior solves.
+                solver.solver.solve_batch(rhs, psi_bound, out=psi_plasma)
+            now = time.perf_counter()
+            for k in active:
+                np.add(psi_plasma[k], psi_ext[k], out=psi_new[k])
+                if solver.iterate_post(states[k], psi_new[k]):
+                    latencies[k] = now - t_run0
+            active = [k for k in active if not states[k].converged]
+            if not active:
+                break
+        t_end = time.perf_counter()
+        out: list[tuple[FitResult, float, int]] = []
+        for k, state in enumerate(states):
+            if not state.converged:
+                latencies[k] = t_end - t_run0
+            result = solver.finish(state, require_convergence=require_convergence)
+            out.append((result, latencies[k], len(state.history)))
+        return out
+
+    def fit_many(
+        self,
+        slices: Sequence[MeasurementSet],
+        *,
+        require_convergence: bool = True,
+    ) -> BatchFitResult:
+        """Reconstruct every slice; returns per-slice results + stats.
+
+        Slices are grouped into batches of ``batch_size`` in input order;
+        ``n_workers`` threads drain the batch queue.  Raises
+        :class:`~repro.errors.ConvergenceError` on the first unconverged
+        slice unless ``require_convergence=False``.
+        """
+        slices = list(slices)
+        if not slices:
+            raise FittingError("fit_many needs at least one slice")
+        batches = [
+            (start, slices[start : start + self.batch_size])
+            for start in range(0, len(slices), self.batch_size)
+        ]
+        results: list[FitResult | None] = [None] * len(slices)
+        latencies = np.zeros(len(slices))
+        iteration_counts = np.zeros(len(slices), dtype=int)
+        t_run0 = time.perf_counter()
+
+        def run_batch(worker: int, start: int, batch: Sequence[MeasurementSet]) -> None:
+            outcomes = self._fit_batch(
+                batch,
+                self._workspaces[worker],
+                self._profilers[worker],
+                t_run0,
+                require_convergence,
+            )
+            for offset, (result, latency, iters) in enumerate(outcomes):
+                results[start + offset] = result
+                latencies[start + offset] = latency
+                iteration_counts[start + offset] = iters
+
+        if self.n_workers == 1:
+            for start, batch in batches:
+                run_batch(0, start, batch)
+        else:
+            todo: queue.SimpleQueue = queue.SimpleQueue()
+            for item in batches:
+                todo.put(item)
+            errors: list[BaseException] = []
+
+            def worker_loop(worker: int) -> None:
+                while True:
+                    try:
+                        start, batch = todo.get_nowait()
+                    except queue.Empty:
+                        return
+                    try:
+                        run_batch(worker, start, batch)
+                    except BaseException as exc:  # propagate to the caller
+                        errors.append(exc)
+                        return
+
+            threads = [
+                threading.Thread(target=worker_loop, args=(w,), name=f"batchfit-{w}")
+                for w in range(min(self.n_workers, len(batches)))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            if errors:
+                raise errors[0]
+
+        wall = time.perf_counter() - t_run0
+        done = [r for r in results if r is not None]
+        stats = BatchStats.from_latencies(
+            latencies,
+            wall,
+            total_iterations=int(iteration_counts.sum()),
+            n_converged=sum(1 for r in done if r.converged),
+        )
+        return BatchFitResult(results=tuple(done), stats=stats, latencies=latencies)

@@ -1,0 +1,73 @@
+"""Preallocated workspace arenas for the reconstruction hot path.
+
+NumPy's expression style allocates a fresh array per intermediate; at
+thousands of Picard iterates per shot that is both allocator pressure and
+cache churn.  :class:`FitWorkspace` holds named buffers that are
+allocated once and reused across Picard iterates, slices and batches —
+callers request ``ws.array(name, shape)`` and write into the result with
+``out=``-style kernels.  Every request is counted through a
+:class:`~repro.runtime.counters.WorkspaceCounters`, so the benchmark
+suite can assert that steady-state iterates perform *zero* fresh
+allocations: after warm-up, ``allocations`` stays flat while ``reuses``
+keeps climbing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FittingError
+from repro.runtime.counters import WorkspaceCounters
+
+__all__ = ["FitWorkspace"]
+
+
+class FitWorkspace:
+    """A named-buffer arena with allocation/reuse accounting.
+
+    Buffers are keyed by name; a request re-allocates only when the name
+    is new or the requested shape/dtype changed (e.g. the batch engine
+    was handed a different batch size).  Buffers are returned
+    *uninitialised* on first allocation — callers own the fill.
+
+    Not thread-safe: the batch engine keeps one workspace per worker.
+    """
+
+    def __init__(self, counters: WorkspaceCounters | None = None) -> None:
+        self._arrays: dict[str, np.ndarray] = {}
+        self.counters = counters if counters is not None else WorkspaceCounters()
+
+    def array(self, name: str, shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """Return the buffer ``name``, (re)allocating only on shape change."""
+        if not name:
+            raise FittingError("workspace buffer needs a name")
+        shape = tuple(int(s) for s in shape)
+        arr = self._arrays.get(name)
+        if arr is not None and arr.shape == shape and arr.dtype == np.dtype(dtype):
+            self.counters.record_reuse()
+            return arr
+        freed = arr.nbytes if arr is not None else 0
+        arr = np.empty(shape, dtype=dtype)
+        self._arrays[name] = arr
+        self.counters.record_allocation(arr.nbytes, freed_bytes=freed)
+        return arr
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently resident in the arena."""
+        return sum(a.nbytes for a in self._arrays.values())
+
+    def names(self) -> tuple[str, ...]:
+        """The currently allocated buffer names (diagnostic aid)."""
+        return tuple(self._arrays)
+
+    def clear(self) -> None:
+        """Drop every buffer (counters keep their history)."""
+        self._arrays.clear()
+        self.counters.resident_bytes = 0

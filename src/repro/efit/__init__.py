@@ -15,7 +15,13 @@ from repro.efit.greens import (
     greens_bz,
     mutual_inductance,
 )
-from repro.efit.tables import BoundaryGreensTables, build_boundary_tables
+from repro.efit.tables import (
+    BoundaryGreensTables,
+    BoundaryTableCache,
+    boundary_table_cache,
+    build_boundary_tables,
+    cached_boundary_tables,
+)
 from repro.efit.operators import GradShafranovOperator
 from repro.efit.basis import PolynomialBasis
 from repro.efit.profiles import ProfileCoefficients
@@ -27,8 +33,15 @@ from repro.efit.boundary import BoundaryResult, find_axis, find_boundary
 from repro.efit.contours import FluxSurface, trace_flux_surface
 from repro.efit.qprofile import QProfile, safety_factor
 from repro.efit.current import distribute_current
-from repro.efit.pflux import PfluxReference, PfluxVectorized
-from repro.efit.fitting import EfitSolver, FitResult, FitIterationRecord
+from repro.efit.pflux import (
+    PfluxOperator,
+    PfluxReference,
+    PfluxVectorized,
+    boundary_flux_operator,
+    edge_flux_operator,
+    edge_node_indices,
+)
+from repro.efit.fitting import EfitSolver, FitResult, FitIterationRecord, FitState, GridStatics
 from repro.efit.eqdsk import GEqdsk, write_geqdsk, read_geqdsk
 from repro.efit.output import geqdsk_from_fit
 from repro.efit.afile import AFile, afile_from_fit, write_afile, read_afile
@@ -41,7 +54,10 @@ __all__ = [
     "greens_bz",
     "mutual_inductance",
     "BoundaryGreensTables",
+    "BoundaryTableCache",
+    "boundary_table_cache",
     "build_boundary_tables",
+    "cached_boundary_tables",
     "GradShafranovOperator",
     "PolynomialBasis",
     "ProfileCoefficients",
@@ -67,11 +83,17 @@ __all__ = [
     "QProfile",
     "safety_factor",
     "distribute_current",
+    "PfluxOperator",
     "PfluxReference",
     "PfluxVectorized",
+    "boundary_flux_operator",
+    "edge_flux_operator",
+    "edge_node_indices",
     "EfitSolver",
     "FitResult",
     "FitIterationRecord",
+    "FitState",
+    "GridStatics",
     "GEqdsk",
     "write_geqdsk",
     "geqdsk_from_fit",

@@ -72,12 +72,26 @@ def _quadratic_refine(grid: RZGrid, field: np.ndarray, i: int, j: int) -> tuple[
     )
 
 
-def find_axis(grid: RZGrid, psi: np.ndarray, limiter: Limiter, sign: int = 1) -> tuple[float, float, float]:
+def find_axis(
+    grid: RZGrid,
+    psi: np.ndarray,
+    limiter: Limiter,
+    sign: int = 1,
+    *,
+    inside: np.ndarray | None = None,
+) -> tuple[float, float, float]:
     """Locate the magnetic axis: the extremum of ``sign * psi`` inside the
-    limiter.  Returns ``(r_axis, z_axis, psi_axis)``."""
+    limiter.  Returns ``(r_axis, z_axis, psi_axis)``.
+
+    ``inside`` optionally supplies the precomputed
+    ``limiter.contains(grid.rr, grid.zz)`` mask — it depends only on the
+    machine and the grid, and recomputing the point-in-polygon test every
+    Picard iterate dominates ``steps_`` time on small grids.
+    """
     if sign not in (1, -1):
         raise BoundaryError("axis sign must be +1 or -1")
-    inside = limiter.contains(grid.rr, grid.zz)
+    if inside is None:
+        inside = limiter.contains(grid.rr, grid.zz)
     if not inside.any():
         raise BoundaryError("limiter does not intersect the computational grid")
     work = np.where(inside, sign * psi, -np.inf)
@@ -132,20 +146,27 @@ def find_boundary(
     *,
     sign: int = 1,
     n_limiter_samples: int = 4,
+    inside: np.ndarray | None = None,
+    limiter_samples: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> BoundaryResult:
     """Full ``steps_`` boundary determination.
 
     ``sign`` is the plasma-current sign convention: +1 means ``psi`` has a
     maximum on the axis (so ``psi`` decreases outward).
+
+    ``inside`` and ``limiter_samples`` optionally supply the precomputed
+    limiter-containment mask on the grid and the densified limiter
+    contour (both static per machine+grid); when omitted they are rebuilt
+    per call, exactly as before.
     """
     psi = np.asarray(psi, dtype=float)
     if psi.shape != grid.shape:
         raise BoundaryError(f"psi shape {psi.shape} != grid {grid.shape}")
-    r_axis, z_axis, psi_axis = find_axis(grid, psi, limiter, sign)
+    r_axis, z_axis, psi_axis = find_axis(grid, psi, limiter, sign, inside=inside)
 
     # Limiter candidate: the flux value where a shrinking contour first
     # touches the wall = extremal psi along the limiter contour.
-    lr, lz = limiter.sample_points(n_limiter_samples)
+    lr, lz = limiter_samples if limiter_samples is not None else limiter.sample_points(n_limiter_samples)
     keep = grid.contains(lr, lz)
     if not keep.any():
         raise BoundaryError("no limiter samples inside the computational box")
@@ -174,7 +195,7 @@ def find_boundary(
         raise BoundaryError("degenerate flux range: psi_axis == psi_boundary")
     psin = (psi - psi_axis) / denom
 
-    inside_lim = limiter.contains(grid.rr, grid.zz)
+    inside_lim = inside if inside is not None else limiter.contains(grid.rr, grid.zz)
     candidate = (psin < 1.0) & inside_lim
     # Keep only the component connected to the axis (drop private flux).
     labels, _ = ndimage.label(candidate)

@@ -37,7 +37,66 @@ from repro.efit.tables import cached_boundary_tables
 from repro.errors import ConvergenceError, FittingError
 from repro.profiling.regions import RegionProfiler
 
-__all__ = ["EfitSolver", "FitResult", "FitIterationRecord"]
+__all__ = ["EfitSolver", "FitResult", "FitIterationRecord", "FitState", "GridStatics"]
+
+
+@dataclass(frozen=True)
+class GridStatics:
+    """Precomputed per-(machine, grid) state for the fit hot path.
+
+    Everything here depends only on the machine geometry and the mesh —
+    not on the shot or the Picard iterate — yet the plain single-slice
+    path rebuilds it every call: the limiter point-in-polygon mask twice
+    per iterate, the densified limiter contour once per iterate and the
+    coil flux tables twice per ``fit``.  The batch engine builds one
+    :class:`GridStatics` per grid and threads it through
+    :meth:`EfitSolver.start_fit` / :meth:`EfitSolver.iterate_pre`; the
+    cached values are bitwise-identical to the recomputed ones, so using
+    them changes no result.
+    """
+
+    #: ``limiter.contains(grid.rr, grid.zz)`` — the in-vessel grid mask.
+    inside_limiter: np.ndarray
+    #: Densified limiter contour ``(r, z)`` for the boundary-psi search.
+    limiter_samples: tuple[np.ndarray, np.ndarray]
+    #: Per-coil vacuum flux tables, shape ``(n_coils, nw, nh)``.
+    coil_flux: np.ndarray
+
+    @classmethod
+    def build(cls, machine: Tokamak, grid: RZGrid, *, n_limiter_samples: int = 4) -> "GridStatics":
+        """Precompute the static fit state for ``machine`` on ``grid``."""
+        return cls(
+            inside_limiter=machine.limiter.contains(grid.rr, grid.zz),
+            limiter_samples=machine.limiter.sample_points(n_limiter_samples),
+            coil_flux=machine.coil_flux_tables(grid),
+        )
+
+
+@dataclass
+class FitState:
+    """Mutable Picard state of one reconstruction in flight.
+
+    Produced by :meth:`EfitSolver.start_fit` and advanced by
+    :meth:`EfitSolver.iterate_pre` / :meth:`EfitSolver.iterate_post`;
+    :meth:`EfitSolver.finish` turns it into a :class:`FitResult`.  The
+    split exists so a batch engine can interleave many slices' iterates
+    and compute all their flux solves in one batched ``pflux_`` call.
+    """
+
+    measurements: MeasurementSet
+    psi: np.ndarray
+    psi_external: np.ndarray
+    sign: int
+    coeffs: np.ndarray
+    pcurr: np.ndarray
+    profiler: RegionProfiler
+    vessel_currents: np.ndarray | None = None
+    boundary: BoundaryResult | None = None
+    chi2: float = np.inf
+    residual: float = np.inf
+    iteration: int = 0
+    converged: bool = False
+    history: list[FitIterationRecord] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -207,14 +266,219 @@ class EfitSolver:
         cap = 4.0 * grid.dz
         return float(np.clip(delz, -cap, cap))
 
-    def _initial_psi(self, measurements: MeasurementSet) -> np.ndarray:
+    def _psi_from_coils(self, currents: np.ndarray, statics: GridStatics | None) -> np.ndarray:
+        """Vacuum coil flux, from the statics tables when available (the
+        tables are built identically either way, so the result is
+        bitwise-independent of the path taken)."""
+        if statics is not None:
+            currents = np.asarray(currents, dtype=float)
+            if currents.shape != (self.machine.n_coils,):
+                raise FittingError(
+                    f"need {self.machine.n_coils} coil currents, got shape {currents.shape}"
+                )
+            return np.tensordot(currents, statics.coil_flux, axes=1)
+        return self.machine.psi_from_coils(self.grid, currents)
+
+    def _initial_psi(
+        self, measurements: MeasurementSet, statics: GridStatics | None = None
+    ) -> np.ndarray:
         """Vacuum flux plus a filament estimate carrying the measured Ip."""
         grid = self.grid
-        psi = self.machine.psi_from_coils(grid, measurements.coil_currents)
+        psi = self._psi_from_coils(measurements.coil_currents, statics)
         r0 = float(self.machine.limiter.r.mean())
         rf = r0 + 0.37 * grid.dr
         zf = 0.41 * grid.dz
         return psi + measurements.ip * greens_psi(grid.rr, grid.zz, rf, zf)
+
+    # -- the Picard step machine ---------------------------------------------------
+    def start_fit(
+        self,
+        measurements: MeasurementSet,
+        *,
+        psi_initial: np.ndarray | None = None,
+        statics: GridStatics | None = None,
+        profiler: RegionProfiler | None = None,
+    ) -> FitState:
+        """Validate one slice's inputs and build its initial Picard state.
+
+        ``statics`` short-circuits the per-call rebuild of machine/grid
+        invariants (see :class:`GridStatics`); ``profiler`` overrides the
+        solver-level profiler — batch workers pass their own because
+        :class:`RegionProfiler` nesting is not thread-safe.
+        """
+        grid = self.grid
+        if measurements.n_measurements != self.diagnostics.n_measurements:
+            raise FittingError("measurement vector does not match the diagnostic set")
+        psi_external = self._psi_from_coils(measurements.coil_currents, statics)
+        psi = (
+            np.asarray(psi_initial, dtype=float)
+            if psi_initial is not None
+            else self._initial_psi(measurements, statics)
+        )
+        if psi.shape != grid.shape:
+            raise FittingError("initial psi shape mismatch")
+        if not np.all(np.isfinite(psi)):
+            raise FittingError("initial psi contains non-finite values")
+        return FitState(
+            measurements=measurements,
+            psi=psi,
+            psi_external=psi_external,
+            sign=1 if measurements.ip >= 0 else -1,
+            coeffs=np.zeros(self.pp_basis.n_terms + self.ffp_basis.n_terms),
+            pcurr=np.zeros(grid.shape),
+            profiler=profiler if profiler is not None else self.profiler,
+            vessel_currents=np.zeros(self.machine.n_vessel) if self.fit_vessel else None,
+        )
+
+    def iterate_pre(
+        self, state: FitState, *, statics: GridStatics | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The pre-flux half of one Picard iterate: ``steps_`` boundary
+        search, ``current_`` distribution and the ``green_`` linear fit.
+
+        Returns ``(pcurr, psi_ext_iter)`` — exactly what ``pflux_`` needs;
+        the caller runs the flux solve (singly or batched across slices)
+        and hands ``psi_new`` to :meth:`iterate_post`.
+        """
+        grid = self.grid
+        profiler = state.profiler
+        measurements = state.measurements
+        state.iteration += 1
+        inside = statics.inside_limiter if statics is not None else None
+        samples = statics.limiter_samples if statics is not None else None
+        with profiler.region("steps_"):
+            state.boundary = find_boundary(
+                grid,
+                state.psi,
+                self.machine.limiter,
+                sign=state.sign,
+                inside=inside,
+                limiter_samples=samples,
+            )
+        boundary = state.boundary
+        with profiler.region("current_"):
+            jmat = basis_current_matrix(
+                grid, boundary.psin, boundary.mask, self.pp_basis, self.ffp_basis
+            )
+        with profiler.region("green_"):
+            assembly = assemble_response(
+                self.grid_response,
+                jmat,
+                self.coil_response,
+                measurements.coil_currents,
+                measurements.values,
+                measurements.uncertainties,
+            )
+            if state.iteration <= self.n_warmup:
+                # Warm-up: a fixed peaked current shape rescaled to
+                # the measured Ip (EFIT's initial parabolic
+                # distribution) until the geometry is sane enough
+                # for the least-squares step to be trustworthy.
+                warm = np.zeros(state.coeffs.size)
+                warm[self.pp_basis.n_terms] = 1.0
+                if self.ffp_basis.n_terms > 1:
+                    warm[self.pp_basis.n_terms + 1] = -0.8
+                total = float((jmat @ warm).sum())
+                if total == 0.0:
+                    raise FittingError("warm-up current shape carries no current")
+                state.coeffs = warm * (measurements.ip / total)
+                state.chi2 = chi_squared(assembly, state.coeffs)
+            elif self.fit_vessel:
+                # Augment the linear system with one unknown per
+                # vessel segment (EFIT's VESSEL fitting option).
+                from repro.efit.response import ResponseAssembly
+
+                aug = ResponseAssembly(
+                    np.hstack([assembly.matrix, self.vessel_response]),
+                    assembly.data,
+                    assembly.weights,
+                )
+                sol = solve_weighted_lsq(aug, ridge=self.ridge)
+                n_prof = state.coeffs.size
+                state.coeffs = (
+                    1.0 - self.relax_current
+                ) * state.coeffs + self.relax_current * sol[:n_prof]
+                state.vessel_currents = (
+                    1.0 - self.relax_current
+                ) * state.vessel_currents + self.relax_current * sol[n_prof:]
+                state.chi2 = chi_squared(
+                    aug, np.concatenate([state.coeffs, state.vessel_currents])
+                )
+            else:
+                coeffs_lsq = solve_weighted_lsq(assembly, ridge=self.ridge)
+                # Damp the profile update: a full LSQ step against a
+                # still-wrong geometry overdrives the current and the
+                # Picard map loses contraction (EFIT's fitting
+                # weights play the same stabilising role).
+                state.coeffs = (
+                    1.0 - self.relax_current
+                ) * state.coeffs + self.relax_current * coeffs_lsq
+                state.chi2 = chi_squared(assembly, state.coeffs)
+        with profiler.region("current_"):
+            pcurr = grid.unflatten(jmat @ state.coeffs)
+            if self.fitdelz:
+                vessel_pred = (
+                    self.vessel_response @ state.vessel_currents if self.fit_vessel else None
+                )
+                delz = self._fit_delz(pcurr, assembly, vessel_pred)
+                if delz != 0.0:
+                    pcurr = self._shift_z(pcurr, delz)
+            state.pcurr = pcurr
+        psi_ext_iter = state.psi_external
+        if self.fit_vessel:
+            psi_ext_iter = state.psi_external + np.tensordot(
+                state.vessel_currents, self.vessel_flux_tables, axes=1
+            )
+        return pcurr, psi_ext_iter
+
+    def iterate_post(self, state: FitState, psi_new: np.ndarray) -> bool:
+        """The post-flux half of one Picard iterate: residual, relaxation,
+        history and the convergence decision.  Returns ``True`` once the
+        slice has converged."""
+        with state.profiler.region("steps_"):
+            span = float(np.ptp(psi_new))
+            if span == 0.0:
+                raise ConvergenceError("flat flux map during fit")
+            state.residual = float(np.max(np.abs(psi_new - state.psi)) / span)
+            state.psi = (1.0 - self.relax) * state.psi + self.relax * psi_new
+        state.history.append(
+            FitIterationRecord(
+                iteration=state.iteration,
+                residual=state.residual,
+                psi_axis=state.boundary.psi_axis,
+                psi_boundary=state.boundary.psi_boundary,
+                chi2=state.chi2,
+                coefficients=state.coeffs.copy(),
+            )
+        )
+        if state.residual < self.tol and state.iteration > self.n_warmup:
+            state.converged = True
+        return state.converged
+
+    def finish(self, state: FitState, *, require_convergence: bool = True) -> FitResult:
+        """Seal a Picard state into a :class:`FitResult`."""
+        if not state.converged and require_convergence:
+            raise ConvergenceError(
+                f"fit did not converge: residual {state.residual:.3e} > {self.tol:.1e} "
+                f"after {self.max_iters} iterations"
+            )
+        profiles = ProfileCoefficients.from_vector(
+            self.pp_basis, self.ffp_basis, state.coeffs
+        )
+        return FitResult(
+            psi=state.psi,
+            pcurr=state.pcurr,
+            profiles=profiles,
+            boundary=state.boundary,
+            converged=state.converged,
+            iterations=len(state.history),
+            residual=state.residual,
+            chi2=state.chi2,
+            history=tuple(state.history),
+            vessel_currents=(
+                state.vessel_currents.copy() if state.vessel_currents is not None else None
+            ),
+        )
 
     # -- the fit -------------------------------------------------------------------
     def fit(
@@ -230,137 +494,13 @@ class EfitSolver:
         ``max_iters`` without meeting ``tol`` (suppress with
         ``require_convergence=False`` to inspect the partial result).
         """
-        grid = self.grid
-        if measurements.n_measurements != self.diagnostics.n_measurements:
-            raise FittingError("measurement vector does not match the diagnostic set")
-        psi_external = self.machine.psi_from_coils(grid, measurements.coil_currents)
-        psi = np.asarray(psi_initial, dtype=float) if psi_initial is not None else self._initial_psi(measurements)
-        if psi.shape != grid.shape:
-            raise FittingError("initial psi shape mismatch")
-        if not np.all(np.isfinite(psi)):
-            raise FittingError("initial psi contains non-finite values")
-        sign = 1 if measurements.ip >= 0 else -1
-
-        history: list[FitIterationRecord] = []
-        converged = False
-        boundary: BoundaryResult | None = None
-        coeffs = np.zeros(self.pp_basis.n_terms + self.ffp_basis.n_terms)
-        vessel_i = np.zeros(self.machine.n_vessel) if self.fit_vessel else None
-        pcurr = np.zeros(grid.shape)
-        chi2 = np.inf
-        residual = np.inf
-
-        for iteration in range(1, self.max_iters + 1):
+        state = self.start_fit(measurements, psi_initial=psi_initial)
+        for _ in range(self.max_iters):
             with self.profiler.region("fit_"):
-                with self.profiler.region("steps_"):
-                    boundary = find_boundary(grid, psi, self.machine.limiter, sign=sign)
-                with self.profiler.region("current_"):
-                    jmat = basis_current_matrix(
-                        grid, boundary.psin, boundary.mask, self.pp_basis, self.ffp_basis
-                    )
-                with self.profiler.region("green_"):
-                    assembly = assemble_response(
-                        self.grid_response,
-                        jmat,
-                        self.coil_response,
-                        measurements.coil_currents,
-                        measurements.values,
-                        measurements.uncertainties,
-                    )
-                    if iteration <= self.n_warmup:
-                        # Warm-up: a fixed peaked current shape rescaled to
-                        # the measured Ip (EFIT's initial parabolic
-                        # distribution) until the geometry is sane enough
-                        # for the least-squares step to be trustworthy.
-                        warm = np.zeros(coeffs.size)
-                        warm[self.pp_basis.n_terms] = 1.0
-                        if self.ffp_basis.n_terms > 1:
-                            warm[self.pp_basis.n_terms + 1] = -0.8
-                        total = float((jmat @ warm).sum())
-                        if total == 0.0:
-                            raise FittingError("warm-up current shape carries no current")
-                        coeffs = warm * (measurements.ip / total)
-                        chi2 = chi_squared(assembly, coeffs)
-                    elif self.fit_vessel:
-                        # Augment the linear system with one unknown per
-                        # vessel segment (EFIT's VESSEL fitting option).
-                        from repro.efit.response import ResponseAssembly
-
-                        aug = ResponseAssembly(
-                            np.hstack([assembly.matrix, self.vessel_response]),
-                            assembly.data,
-                            assembly.weights,
-                        )
-                        sol = solve_weighted_lsq(aug, ridge=self.ridge)
-                        n_prof = coeffs.size
-                        coeffs = (
-                            1.0 - self.relax_current
-                        ) * coeffs + self.relax_current * sol[:n_prof]
-                        vessel_i = (
-                            1.0 - self.relax_current
-                        ) * vessel_i + self.relax_current * sol[n_prof:]
-                        chi2 = chi_squared(aug, np.concatenate([coeffs, vessel_i]))
-                    else:
-                        coeffs_lsq = solve_weighted_lsq(assembly, ridge=self.ridge)
-                        # Damp the profile update: a full LSQ step against a
-                        # still-wrong geometry overdrives the current and the
-                        # Picard map loses contraction (EFIT's fitting
-                        # weights play the same stabilising role).
-                        coeffs = (
-                            1.0 - self.relax_current
-                        ) * coeffs + self.relax_current * coeffs_lsq
-                        chi2 = chi_squared(assembly, coeffs)
-                with self.profiler.region("current_"):
-                    pcurr = grid.unflatten(jmat @ coeffs)
-                    if self.fitdelz:
-                        vessel_pred = (
-                            self.vessel_response @ vessel_i if self.fit_vessel else None
-                        )
-                        delz = self._fit_delz(pcurr, assembly, vessel_pred)
-                        if delz != 0.0:
-                            pcurr = self._shift_z(pcurr, delz)
+                pcurr, psi_ext_iter = self.iterate_pre(state)
                 with self.profiler.region("pflux_"):
-                    psi_ext_iter = psi_external
-                    if self.fit_vessel:
-                        psi_ext_iter = psi_external + np.tensordot(
-                            vessel_i, self.vessel_flux_tables, axes=1
-                        )
                     psi_new = self.pflux.compute(pcurr, psi_ext_iter)
-                with self.profiler.region("steps_"):
-                    span = float(np.ptp(psi_new))
-                    if span == 0.0:
-                        raise ConvergenceError("flat flux map during fit")
-                    residual = float(np.max(np.abs(psi_new - psi)) / span)
-                    psi = (1.0 - self.relax) * psi + self.relax * psi_new
-            history.append(
-                FitIterationRecord(
-                    iteration=iteration,
-                    residual=residual,
-                    psi_axis=boundary.psi_axis,
-                    psi_boundary=boundary.psi_boundary,
-                    chi2=chi2,
-                    coefficients=coeffs.copy(),
-                )
-            )
-            if residual < self.tol and iteration > self.n_warmup:
-                converged = True
+                self.iterate_post(state, psi_new)
+            if state.converged:
                 break
-
-        if not converged and require_convergence:
-            raise ConvergenceError(
-                f"fit did not converge: residual {residual:.3e} > {self.tol:.1e} "
-                f"after {self.max_iters} iterations"
-            )
-        profiles = ProfileCoefficients.from_vector(self.pp_basis, self.ffp_basis, coeffs)
-        return FitResult(
-            psi=psi,
-            pcurr=pcurr,
-            profiles=profiles,
-            boundary=boundary,
-            converged=converged,
-            iterations=len(history),
-            residual=residual,
-            chi2=chi2,
-            history=tuple(history),
-            vessel_currents=vessel_i.copy() if vessel_i is not None else None,
-        )
+        return self.finish(state, require_convergence=require_convergence)

@@ -152,3 +152,25 @@ class GradShafranovOperator:
         corr[:, 0] += psi_boundary[1:-1, 0] / dz2
         corr[:, -1] += psi_boundary[1:-1, -1] / dz2
         return corr.reshape(ni * nj)
+
+    def dirichlet_rhs_correction_batch(self, psi_boundary: np.ndarray) -> np.ndarray:
+        """Batched :meth:`dirichlet_rhs_correction` over stacked slices.
+
+        ``psi_boundary`` is ``(B, nw, nh)``; returns the ``(B, ni, nj)``
+        interior corrections.  The arithmetic is elementwise-identical to
+        the single-slice path, so batched and serial solves agree bitwise.
+        """
+        grid = self.grid
+        psi_boundary = np.asarray(psi_boundary, dtype=float)
+        if psi_boundary.ndim != 3 or psi_boundary.shape[1:] != grid.shape:
+            raise GridError("batched boundary field shape mismatch")
+        ni = grid.nw - 2
+        nj = grid.nh - 2
+        dr2 = grid.dr**2
+        dz2 = grid.dz**2
+        corr = np.zeros((psi_boundary.shape[0], ni, nj))
+        corr[:, 0, :] += self.a_minus[0] / dr2 * psi_boundary[:, 0, 1:-1]
+        corr[:, -1, :] += self.a_plus[-1] / dr2 * psi_boundary[:, -1, 1:-1]
+        corr[:, :, 0] += psi_boundary[:, 1:-1, 0] / dz2
+        corr[:, :, -1] += psi_boundary[:, 1:-1, -1] / dz2
+        return corr

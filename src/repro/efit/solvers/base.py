@@ -30,6 +30,16 @@ class GSInteriorSolver(abc.ABC):
         """Solve the interior system ``A x = b`` with ``b`` shaped
         ``(nw-2, nh-2)``; returns ``x`` with the same shape."""
 
+    def _solve_interior_batch(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``B`` stacked interior systems, ``b`` shaped
+        ``(B, nw-2, nh-2)``.  The default loops :meth:`_solve_interior`;
+        solvers with a genuine multi-RHS path (the DST solver stacks all
+        columns into one vectorised Thomas sweep) override this."""
+        out = np.empty_like(b)
+        for k in range(b.shape[0]):
+            out[k] = self._solve_interior(b[k])
+        return out
+
     def solve(self, rhs: np.ndarray, psi_boundary: np.ndarray) -> np.ndarray:
         """Solve for the full ``(nw, nh)`` flux.
 
@@ -60,6 +70,43 @@ class GSInteriorSolver(abc.ABC):
         psi[:, -1] = psi_boundary[:, -1]
         psi[1:-1, 1:-1] = x
         return psi
+
+    def solve_batch(
+        self,
+        rhs: np.ndarray,
+        psi_boundary: np.ndarray,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Solve ``B`` independent slices stacked along the leading axis.
+
+        ``rhs`` and ``psi_boundary`` are ``(B, nw, nh)``; returns the
+        ``(B, nw, nh)`` fluxes.  The Dirichlet correction and the interior
+        solve are vectorised across the batch where the backend supports
+        it; per-slice results are elementwise-identical to :meth:`solve`.
+        ``out`` lets the batch engine reuse a workspace buffer.
+        """
+        grid = self.grid
+        rhs = np.asarray(rhs, dtype=float)
+        psi_boundary = np.asarray(psi_boundary, dtype=float)
+        if rhs.ndim != 3 or rhs.shape[1:] != grid.shape or psi_boundary.shape != rhs.shape:
+            raise GridError("batched rhs/boundary shape mismatch with grid")
+        nb = rhs.shape[0]
+        ni, nj = grid.nw - 2, grid.nh - 2
+        corr = self.operator.dirichlet_rhs_correction_batch(psi_boundary)
+        b = rhs[:, 1:-1, 1:-1] - corr
+        x = self._solve_interior_batch(b)
+        if x.shape != (nb, ni, nj):
+            raise SolverError(f"batched interior solution shape {x.shape} != {(nb, ni, nj)}")
+        if out is None:
+            out = np.empty((nb,) + grid.shape)
+        elif out.shape != (nb,) + grid.shape:
+            raise GridError(f"out shape {out.shape} != {(nb,) + grid.shape}")
+        out[:, 0, :] = psi_boundary[:, 0, :]
+        out[:, -1, :] = psi_boundary[:, -1, :]
+        out[:, :, 0] = psi_boundary[:, :, 0]
+        out[:, :, -1] = psi_boundary[:, :, -1]
+        out[:, 1:-1, 1:-1] = x
+        return out
 
 
 SOLVER_NAMES = ("direct", "dst", "cyclic", "cg")

@@ -27,16 +27,25 @@ an effective wire radius derived from the cell area, as EFIT does.
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
 
 from repro.efit.greens import greens_psi, self_flux_per_radian
 from repro.efit.grid import RZGrid
 from repro.errors import GreensError
+from repro.runtime.counters import CacheCounters
 
-__all__ = ["BoundaryGreensTables", "build_boundary_tables", "effective_filament_radius"]
+__all__ = [
+    "BoundaryGreensTables",
+    "BoundaryTableCache",
+    "build_boundary_tables",
+    "boundary_table_cache",
+    "cached_boundary_tables",
+    "effective_filament_radius",
+]
 
 
 def effective_filament_radius(grid: RZGrid) -> float:
@@ -125,9 +134,103 @@ def build_boundary_tables(grid: RZGrid, *, chunk: int = 32) -> BoundaryGreensTab
     return BoundaryGreensTables(grid=grid, gpc=gpc)
 
 
-@lru_cache(maxsize=4)
-def _cached_tables(nw: int, nh: int, rmin: float, rmax: float, zmin: float, zmax: float) -> BoundaryGreensTables:
-    return build_boundary_tables(RZGrid(nw, nh, rmin, rmax, zmin, zmax))
+#: Default table-cache budget: holds one 513x513 table (1.08 GB) plus the
+#: full small-grid sweep, overridable via ``REPRO_TABLE_CACHE_BYTES``.
+_DEFAULT_CACHE_BYTES = 1_600_000_000
+
+
+class BoundaryTableCache:
+    """Bytes-bounded LRU cache of :class:`BoundaryGreensTables` per grid.
+
+    The old ``lru_cache(maxsize=4)`` counted *entries*, so a fifth distinct
+    grid evicted by recency regardless of size — a 513x513 table (1.08 GB)
+    and a 33x33 one (280 kB) cost the same slot.  This cache bounds the
+    *total bytes* instead: small grids coexist essentially for free and a
+    big table only evicts when the budget genuinely runs out.  The most
+    recently built table is always retained, even when it alone exceeds
+    the budget.  Hit/miss/eviction statistics are exposed through a
+    :class:`~repro.runtime.counters.CacheCounters` (:meth:`cache_info`)
+    so the throughput benchmarks can assert table reuse across slices.
+    """
+
+    def __init__(self, max_bytes: int = _DEFAULT_CACHE_BYTES) -> None:
+        if max_bytes < 0:
+            raise GreensError("cache budget must be non-negative")
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[tuple, BoundaryGreensTables] = OrderedDict()
+        self.counters = CacheCounters()
+
+    @staticmethod
+    def _key(grid: RZGrid) -> tuple:
+        return (grid.nw, grid.nh, grid.rmin, grid.rmax, grid.zmin, grid.zmax)
+
+    @property
+    def current_bytes(self) -> int:
+        return sum(t.nbytes for t in self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, grid: RZGrid) -> BoundaryGreensTables:
+        """Return the cached tables for ``grid``, building on first use."""
+        key = self._key(grid)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.counters.record_hit()
+            return entry
+        tables = build_boundary_tables(grid)
+        self.counters.record_miss(tables.nbytes)
+        self._entries[key] = tables
+        self._shrink()
+        return tables
+
+    def _shrink(self) -> None:
+        """Evict least-recently-used entries until within budget (the
+        newest entry is never evicted)."""
+        while len(self._entries) > 1 and self.current_bytes > self.max_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self.counters.record_eviction(evicted.nbytes)
+
+    def set_max_bytes(self, max_bytes: int) -> None:
+        """Re-bound the cache, evicting immediately if now over budget."""
+        if max_bytes < 0:
+            raise GreensError("cache budget must be non-negative")
+        self.max_bytes = max_bytes
+        self._shrink()
+
+    def cache_info(self) -> dict[str, int]:
+        """``functools.lru_cache``-style statistics, plus byte accounting."""
+        return {
+            "hits": self.counters.hits,
+            "misses": self.counters.misses,
+            "evictions": self.counters.evictions,
+            "currsize": len(self._entries),
+            "current_bytes": self.current_bytes,
+            "max_bytes": self.max_bytes,
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.counters.reset()
+
+
+def _cache_budget_from_env() -> int:
+    raw = os.environ.get("REPRO_TABLE_CACHE_BYTES", "")
+    try:
+        return int(raw) if raw else _DEFAULT_CACHE_BYTES
+    except ValueError:
+        return _DEFAULT_CACHE_BYTES
+
+
+_TABLE_CACHE = BoundaryTableCache(_cache_budget_from_env())
+
+
+def boundary_table_cache() -> BoundaryTableCache:
+    """The process-wide table cache (shared by fitting, batch engine and
+    benchmarks); use its :meth:`~BoundaryTableCache.cache_info` hook to
+    observe reuse."""
+    return _TABLE_CACHE
 
 
 def cached_boundary_tables(grid: RZGrid) -> BoundaryGreensTables:
@@ -136,4 +239,4 @@ def cached_boundary_tables(grid: RZGrid) -> BoundaryGreensTables:
     The tables depend only on the mesh, not on the shot, so the fitting
     driver and the benchmark harness share one copy per grid size.
     """
-    return _cached_tables(grid.nw, grid.nh, grid.rmin, grid.rmax, grid.zmin, grid.zmax)
+    return _TABLE_CACHE.get(grid)

@@ -8,15 +8,17 @@ hardware counters (DRAM bytes, FLOPs, faults, transfers) that the paper
 reads out of Nsight Compute / rocprof / Intel Advisor.
 """
 
-from repro.runtime.counters import CounterSet, KernelCounters
+from repro.runtime.counters import CacheCounters, CounterSet, KernelCounters, WorkspaceCounters
 from repro.runtime.allocator import AllocatorModel, AllocationPolicy
 from repro.runtime.memory import DeviceArray, UnifiedMemory, ExplicitDataEnvironment
 from repro.runtime.kernel import ExecutionPlan
 from repro.runtime.executor import OffloadExecutor
 
 __all__ = [
+    "CacheCounters",
     "CounterSet",
     "KernelCounters",
+    "WorkspaceCounters",
     "AllocatorModel",
     "AllocationPolicy",
     "DeviceArray",

@@ -13,7 +13,86 @@ from dataclasses import dataclass, field
 
 from repro.errors import RuntimeModelError
 
-__all__ = ["KernelCounters", "CounterSet"]
+__all__ = ["KernelCounters", "CounterSet", "WorkspaceCounters", "CacheCounters"]
+
+
+@dataclass
+class WorkspaceCounters:
+    """Allocation/reuse accounting of a preallocated-buffer arena.
+
+    The batched reconstruction engine asserts *zero steady-state
+    allocation* through these counters: after warm-up, ``allocations``
+    must stop growing while ``reuses`` keeps climbing.
+    """
+
+    allocations: int = 0
+    reuses: int = 0
+    allocated_bytes: int = 0
+    resident_bytes: int = 0
+
+    def record_allocation(self, nbytes: int, *, freed_bytes: int = 0) -> None:
+        """Account one fresh buffer allocation (optionally replacing one)."""
+        if nbytes < 0 or freed_bytes < 0:
+            raise RuntimeModelError("negative workspace byte count")
+        self.allocations += 1
+        self.allocated_bytes += nbytes
+        self.resident_bytes += nbytes - freed_bytes
+
+    def record_reuse(self) -> None:
+        """Account one request served from an already-allocated buffer."""
+        self.reuses += 1
+
+    @property
+    def requests(self) -> int:
+        return self.allocations + self.reuses
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Share of buffer requests served without allocating (0 when idle)."""
+        total = self.requests
+        return self.reuses / total if total else 0.0
+
+    def reset(self) -> None:
+        self.allocations = 0
+        self.reuses = 0
+        self.allocated_bytes = 0
+        self.resident_bytes = 0
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss/eviction accounting of a size-bounded object cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stored_bytes: int = 0
+
+    def record_hit(self) -> None:
+        self.hits += 1
+
+    def record_miss(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise RuntimeModelError("negative cache byte count")
+        self.misses += 1
+        self.stored_bytes += nbytes
+
+    def record_eviction(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise RuntimeModelError("negative cache byte count")
+        self.evictions += 1
+        self.stored_bytes -= nbytes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.stored_bytes = 0
 
 
 @dataclass

@@ -1,0 +1,1 @@
+"""Tests of the batched multi-slice reconstruction layer."""

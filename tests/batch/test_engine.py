@@ -1,0 +1,139 @@
+"""Tests of the batch engine against the serial single-slice driver."""
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchFitEngine, synthetic_slice_sequence
+from repro.errors import ConvergenceError, FittingError, MeasurementError
+
+
+@pytest.fixture(scope="module")
+def slices6(shot33):
+    return synthetic_slice_sequence(shot33, 6, seed=7)
+
+
+@pytest.fixture(scope="module")
+def serial_results(shot33, slices6):
+    from repro.efit.fitting import EfitSolver
+
+    solver = EfitSolver(shot33.machine, shot33.diagnostics, shot33.grid)
+    return [solver.fit(m) for m in slices6]
+
+
+@pytest.fixture(scope="module")
+def engine(shot33):
+    return BatchFitEngine(
+        shot33.machine, shot33.diagnostics, shot33.grid, batch_size=4
+    )
+
+
+class TestEngineVsSerial:
+    def test_psi_matches_serial(self, engine, slices6, serial_results):
+        """Batched and serial reconstructions agree to <= 1e-10 relative
+        (acceptance criterion; in practice they track to round-off)."""
+        batch = engine.fit_many(slices6)
+        assert len(batch.results) == len(slices6)
+        for serial, batched in zip(serial_results, batch.results):
+            scale = np.max(np.abs(serial.psi))
+            assert np.max(np.abs(serial.psi - batched.psi)) <= 1e-10 * scale
+            assert batched.converged == serial.converged
+            assert len(batched.history) == len(serial.history)
+            assert batched.chi2 == pytest.approx(serial.chi2, rel=1e-9)
+
+    def test_ragged_final_batch(self, engine, slices6):
+        """Six slices at batch_size=4 exercise the 4+2 split."""
+        batch = engine.fit_many(slices6)
+        assert batch.stats.n_slices == 6
+        assert batch.stats.n_converged == 6
+
+    def test_two_workers_match_single(self, shot33, slices6, serial_results):
+        engine2 = BatchFitEngine(
+            shot33.machine,
+            shot33.diagnostics,
+            shot33.grid,
+            batch_size=2,
+            n_workers=2,
+        )
+        batch = engine2.fit_many(slices6)
+        for serial, batched in zip(serial_results, batch.results):
+            scale = np.max(np.abs(serial.psi))
+            assert np.max(np.abs(serial.psi - batched.psi)) <= 1e-10 * scale
+
+
+class TestEngineSteadyState:
+    def test_zero_allocations_after_warmup(self, engine, slices6):
+        """Repeat runs reuse every workspace buffer: the allocation count
+        is flat while the reuse count keeps climbing."""
+        engine.fit_many(slices6)  # warm-up (may allocate)
+        warm = engine.workspace_counters()
+        engine.fit_many(slices6)
+        engine.fit_many(slices6)
+        steady = engine.workspace_counters()
+        assert steady.allocations == warm.allocations
+        assert steady.reuses > warm.reuses
+        assert steady.resident_bytes == warm.resident_bytes
+
+    def test_stats_sane(self, engine, slices6):
+        stats = engine.fit_many(slices6).stats
+        assert stats.n_slices == 6
+        assert stats.wall_seconds > 0
+        assert stats.slices_per_second > 0
+        assert 0 < stats.latency_p50 <= stats.latency_p95 <= stats.wall_seconds * 1.01
+        assert stats.total_iterations >= stats.n_slices
+        assert "slices/s" in stats.summary()
+
+    def test_latencies_returned_per_slice(self, engine, slices6):
+        batch = engine.fit_many(slices6)
+        assert batch.latencies.shape == (6,)
+        assert (batch.latencies > 0).all()
+
+
+class TestEngineValidation:
+    def test_bad_construction(self, shot33):
+        with pytest.raises(FittingError):
+            BatchFitEngine(
+                shot33.machine, shot33.diagnostics, shot33.grid, batch_size=0
+            )
+        with pytest.raises(FittingError):
+            BatchFitEngine(
+                shot33.machine, shot33.diagnostics, shot33.grid, n_workers=0
+            )
+
+    def test_empty_slices_rejected(self, engine):
+        with pytest.raises(FittingError):
+            engine.fit_many([])
+
+    def test_unconverged_raises_unless_waived(self, shot33, slices6):
+        tight = BatchFitEngine(
+            shot33.machine,
+            shot33.diagnostics,
+            shot33.grid,
+            batch_size=4,
+            max_iters=3,
+        )
+        with pytest.raises(ConvergenceError):
+            tight.fit_many(slices6[:2])
+        batch = tight.fit_many(slices6[:2], require_convergence=False)
+        assert not any(r.converged for r in batch.results)
+        assert batch.stats.n_converged == 0
+
+
+class TestSliceSequence:
+    def test_slices_distinct_but_same_channels(self, shot33):
+        slices = synthetic_slice_sequence(shot33, 3, seed=2)
+        base = shot33.measurements
+        for m in slices:
+            assert m.names == base.names
+            assert np.array_equal(m.uncertainties, base.uncertainties)
+            assert not np.array_equal(m.values, base.values)
+        assert not np.array_equal(slices[0].values, slices[1].values)
+
+    def test_zero_noise_reproduces_base(self, shot33):
+        m = synthetic_slice_sequence(shot33, 1, noise_scale=0.0)[0]
+        assert np.array_equal(m.values, shot33.measurements.values)
+
+    def test_validation(self, shot33):
+        with pytest.raises(MeasurementError):
+            synthetic_slice_sequence(shot33, 0)
+        with pytest.raises(MeasurementError):
+            synthetic_slice_sequence(shot33, 2, noise_scale=-0.1)
