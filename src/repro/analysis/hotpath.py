@@ -1,0 +1,272 @@
+"""AST checkers for ``@hot_path`` allocation discipline.
+
+The batched engine's throughput story rests on an allocation-free steady
+state: the Picard iterate halves, the batched flux solve and the pflux
+GEMV write into :class:`~repro.batch.workspace.FitWorkspace` arenas with
+``out=``-style kernels.  PR 1 asserted this only at runtime through
+workspace counters; this pass proves it statically.
+
+Functions marked ``@hot_path`` (see :mod:`repro.analysis.markers`) are
+scanned for:
+
+``hot-alloc``
+    Allocating NumPy constructors (``np.zeros``, ``np.empty``,
+    ``np.concatenate``, ``np.tile``...).
+``hot-copy``
+    ``.copy()`` method calls (fresh buffer per call).
+``hot-ufunc-temp``
+    NumPy ufunc calls without ``out=`` — each one materialises a
+    temporary the arena was built to avoid.
+``workspace-alias``
+    The same workspace buffer name requested twice in one function: the
+    second request silently returns the first buffer's memory, aliasing
+    two logical arrays.
+
+The pass is purely syntactic (``ast``), needs no imports of the scanned
+modules, and reports a *certification*: hot-path functions with zero raw
+allocation findings, which the runtime counters cross-check in
+``bench_batch`` (a certified function must show zero steady-state
+workspace allocations).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding, Location, Severity
+from repro.errors import AnalysisError
+
+__all__ = [
+    "RULE_ALLOC",
+    "RULE_COPY",
+    "RULE_UFUNC",
+    "RULE_ALIAS",
+    "NUMPY_ALLOCATORS",
+    "NUMPY_UFUNCS",
+    "HotPathScan",
+    "scan_source",
+    "scan_paths",
+]
+
+RULE_ALLOC = "hot-alloc"
+RULE_COPY = "hot-copy"
+RULE_UFUNC = "hot-ufunc-temp"
+RULE_ALIAS = "workspace-alias"
+
+#: NumPy namespace aliases recognised by the pass.
+_NUMPY_NAMES = {"np", "numpy"}
+
+#: Constructors that always allocate a fresh array.
+NUMPY_ALLOCATORS = frozenset(
+    {
+        "zeros", "empty", "ones", "full", "array", "copy",
+        "zeros_like", "empty_like", "ones_like", "full_like",
+        "arange", "linspace", "eye", "identity",
+        "concatenate", "stack", "hstack", "vstack", "dstack",
+        "tile", "repeat", "meshgrid", "gradient", "outer",
+    }
+)
+
+#: Ufuncs with an ``out=`` parameter; calling them without one
+#: materialises a temporary.
+NUMPY_UFUNCS = frozenset(
+    {
+        "add", "subtract", "multiply", "divide", "true_divide",
+        "floor_divide", "power", "mod", "negative", "abs", "absolute",
+        "sqrt", "exp", "log", "maximum", "minimum", "clip", "matmul",
+    }
+)
+
+
+@dataclass
+class HotPathScan:
+    """Result of scanning one or more source trees."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: ``module::qualname`` of every ``@hot_path`` function seen.
+    hot_functions: list[str] = field(default_factory=list)
+
+    @property
+    def certified(self) -> tuple[str, ...]:
+        """Hot-path functions with zero raw allocation findings — the set
+        the runtime counters must confirm allocation-free."""
+        dirty = {f.location.ident for f in self.findings}
+        return tuple(fn for fn in self.hot_functions if fn not in dirty)
+
+    def extend(self, other: "HotPathScan") -> None:
+        self.findings.extend(other.findings)
+        self.hot_functions.extend(other.hot_functions)
+
+
+def _is_hot_decorator(node: ast.expr) -> bool:
+    if isinstance(node, ast.Call):  # tolerate @hot_path() spelled with parens
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id == "hot_path"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "hot_path"
+    return False
+
+
+def _numpy_attr(node: ast.expr) -> str | None:
+    """``np.zeros`` -> ``zeros``; anything else -> None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in _NUMPY_NAMES
+    ):
+        return node.attr
+    return None
+
+
+class _HotFunctionChecker(ast.NodeVisitor):
+    """Checks the body of one ``@hot_path`` function."""
+
+    def __init__(self, module: str, qualname: str) -> None:
+        self.module = module
+        self.qualname = qualname
+        self.findings: list[Finding] = []
+        self._workspace_names: dict[str, int] = {}
+
+    def _loc(self, node: ast.AST) -> Location:
+        return Location(module=self.module, qualname=self.qualname, line=node.lineno)
+
+    def _emit(self, rule: str, node: ast.AST, message: str, fix: str, detail: str) -> None:
+        self.findings.append(
+            Finding(
+                rule_id=rule,
+                severity=Severity.WARNING if rule != RULE_ALIAS else Severity.ERROR,
+                location=self._loc(node),
+                message=message,
+                fix_hint=fix,
+                detail=detail,
+            )
+        )
+
+    # Nested function definitions get their own hot/cold decision; do not
+    # charge their bodies to the enclosing hot function.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:  # noqa: N802
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Call(self, node: ast.Call) -> None:  # noqa: N802
+        np_attr = _numpy_attr(node.func)
+        kwargs = {kw.arg for kw in node.keywords}
+        if np_attr in NUMPY_ALLOCATORS:
+            self._emit(
+                RULE_ALLOC,
+                node,
+                f"allocating call np.{np_attr}(...) inside @hot_path function",
+                "preallocate through the FitWorkspace arena and write with out=",
+                f"np.{np_attr}",
+            )
+        elif np_attr in NUMPY_UFUNCS and "out" not in kwargs:
+            self._emit(
+                RULE_UFUNC,
+                node,
+                f"np.{np_attr}(...) without out= materialises a temporary "
+                f"inside @hot_path function",
+                f"pass out=<workspace buffer> to np.{np_attr}",
+                f"np.{np_attr}",
+            )
+        elif np_attr is None and isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr == "copy" and not node.args and not node.keywords:
+                self._emit(
+                    RULE_COPY,
+                    node,
+                    ".copy() allocates a fresh buffer inside @hot_path function",
+                    "reuse a workspace buffer (np.copyto into a preallocated array)",
+                    ".copy",
+                )
+            elif (
+                attr == "array"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id not in _NUMPY_NAMES
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                name = node.args[0].value
+                first = self._workspace_names.setdefault(name, node.lineno)
+                if first != node.lineno:
+                    self._emit(
+                        RULE_ALIAS,
+                        node,
+                        f"workspace buffer '{name}' requested twice (first at line "
+                        f"{first}): the second request aliases the first buffer's memory",
+                        f"give each logical buffer a distinct name (e.g. '{name}_2')",
+                        f"ws:{name}",
+                    )
+        self.generic_visit(node)
+
+
+class _ModuleScanner(ast.NodeVisitor):
+    """Finds ``@hot_path`` functions and dispatches the body checker."""
+
+    def __init__(self, module: str) -> None:
+        self.module = module
+        self.scan = HotPathScan()
+        self._class_stack: list[str] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:  # noqa: N802
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _handle_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        qualname = ".".join((*self._class_stack, node.name))
+        if any(_is_hot_decorator(d) for d in node.decorator_list):
+            self.scan.hot_functions.append(f"{self.module}::{qualname}")
+            checker = _HotFunctionChecker(self.module, qualname)
+            for stmt in node.body:
+                checker.visit(stmt)
+            self.scan.findings.extend(checker.findings)
+        else:  # still recurse: nested/hot methods inside plain functions
+            self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:  # noqa: N802
+        self._handle_function(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+def scan_source(source: str, module: str) -> HotPathScan:
+    """Scan one module's source text for hot-path violations."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise AnalysisError(f"cannot parse {module}: {exc}") from None
+    scanner = _ModuleScanner(module)
+    scanner.visit(tree)
+    return scanner.scan
+
+
+def _module_name(path: Path, root: Path) -> str:
+    rel = path.relative_to(root).with_suffix("")
+    return ".".join(("repro", *rel.parts))
+
+
+def scan_paths(paths, *, package_root: Path | None = None) -> HotPathScan:
+    """Scan ``.py`` files (or directories of them) for hot-path rules.
+
+    ``package_root`` anchors the dotted module names (defaults to the
+    installed ``repro`` package directory).
+    """
+    if package_root is None:
+        import repro
+
+        package_root = Path(repro.__file__).parent
+    scan = HotPathScan()
+    for p in paths:
+        p = Path(p)
+        files = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for f in files:
+            if not f.exists():
+                raise AnalysisError(f"cannot scan missing file {f}")
+            module = _module_name(f, package_root) if f.is_relative_to(package_root) else str(f)
+            scan.extend(scan_source(f.read_text(), module))
+    return scan

@@ -1,0 +1,41 @@
+"""The ``@hot_path`` marker for allocation-disciplined functions.
+
+Functions on the reconstruction hot path — the Picard iterate halves,
+the batched flux solve, the pflux GEMV — promise an allocation-free
+steady state.  Marking them with :func:`hot_path` does two things:
+
+* statically, the linter's AST pass (:mod:`repro.analysis.hotpath`)
+  scans every marked function and flags allocating NumPy constructors,
+  ``.copy()`` calls and ufunc calls without ``out=``;
+* dynamically, the marker is a plain attribute (zero call overhead), so
+  the runtime counters can cross-check the linter's verdict: a function
+  the linter certifies allocation-free must show zero steady-state
+  workspace allocations in ``bench_batch``.
+
+The decorator is dependency-free by design — importing it from
+``repro.efit`` or ``repro.batch`` must not drag the analyzer (or any of
+the performance-model stack) into the physics import graph.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = ["hot_path", "is_hot_path", "HOT_PATH_ATTR"]
+
+#: Attribute set on marked functions (and searched for by the AST pass
+#: via the decorator *name*, so decoration order does not matter).
+HOT_PATH_ATTR = "__hot_path__"
+
+F = TypeVar("F", bound=Callable)
+
+
+def hot_path(func: F) -> F:
+    """Mark ``func`` as allocation-disciplined (no-op at runtime)."""
+    setattr(func, HOT_PATH_ATTR, True)
+    return func
+
+
+def is_hot_path(func: Callable) -> bool:
+    """Whether ``func`` carries the :func:`hot_path` marker."""
+    return bool(getattr(func, HOT_PATH_ATTR, False))

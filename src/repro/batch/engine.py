@@ -38,6 +38,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis.markers import hot_path
 from repro.batch.slices import BatchStats
 from repro.batch.workspace import FitWorkspace
 from repro.efit.diagnostics import DiagnosticSet
@@ -130,6 +131,7 @@ class BatchFitEngine:
         return self._profilers[0].report()
 
     # -- the batched Picard loop ---------------------------------------------------
+    @hot_path
     def _fit_batch(
         self,
         batch: Sequence[MeasurementSet],

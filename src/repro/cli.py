@@ -10,6 +10,12 @@ Commands
     Print the directive census (Tables 4/5).
 ``sites``
     Describe the modeled machines.
+``analyze``
+    Run the portability linter (directive rules + hot-path rules).
+
+``census``, ``sites`` and ``analyze`` accept ``--json`` and share one
+emitter (:mod:`repro.utils.jsonio`) so their machine-readable output has
+a single formatting contract.
 """
 
 from __future__ import annotations
@@ -17,7 +23,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "DEFAULT_BASELINE"]
+
+#: Baseline file ``repro analyze`` picks up from the working directory
+#: when ``--baseline``/``--no-baseline`` are not given.
+DEFAULT_BASELINE = "analysis-baseline.json"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,8 +66,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_fit.add_argument("--afile", metavar="PATH", default=None,
                        help="write the scalar results as an a-file")
 
-    sub.add_parser("census", help="print the directive census (Tables 4/5)")
-    sub.add_parser("sites", help="describe the modeled machines")
+    p_census = sub.add_parser("census", help="print the directive census (Tables 4/5)")
+    p_census.add_argument("--json", action="store_true", help="emit JSON instead of tables")
+
+    p_sites = sub.add_parser("sites", help="describe the modeled machines")
+    p_sites.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    p_an = sub.add_parser(
+        "analyze",
+        help="run the portability linter over the registered kernels and hot paths",
+    )
+    p_an.add_argument("--json", action="store_true", help="emit findings as JSON")
+    p_an.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings too, not only errors",
+    )
+    p_an.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=f"suppression baseline file (default: {DEFAULT_BASELINE} when present)",
+    )
+    p_an.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file, report every finding",
+    )
+    p_an.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write all current findings to the baseline file and exit 0",
+    )
+    p_an.add_argument("--grid", type=int, default=65, help="grid size (default 65)")
+    p_an.add_argument(
+        "--max-traffic-ratio",
+        type=float,
+        default=2.0,
+        help="excess-traffic threshold as modeled/streaming bytes (default 2.0)",
+    )
+
     sub.add_parser("version", help="print the package version")
     return parser
 
@@ -121,20 +169,46 @@ def _cmd_fit(args) -> int:
     return 0
 
 
-def _cmd_census(_args) -> int:
+def _cmd_census(args) -> int:
     from repro.core.report import table4_5_report
 
     t4, t5 = table4_5_report()
+    if args.json:
+        from repro.utils.jsonio import dump_json, table_to_dict
+
+        dump_json({"table4": table_to_dict(t4), "table5": table_to_dict(t5)}, sys.stdout)
+        return 0
     print(t4.render())
     print()
     print(t5.render())
     return 0
 
 
-def _cmd_sites(_args) -> int:
+def _cmd_sites(args) -> int:
     from repro.machines.site import ALL_SITES
 
-    for site in ALL_SITES():
+    sites = ALL_SITES()
+    if args.json:
+        from repro.utils.jsonio import dump_json
+
+        payload = [
+            {
+                "name": site.name,
+                "facility": site.facility,
+                "cpu": site.cpu.name,
+                "gpu": site.gpu.name,
+                "gpu_vendor": site.gpu.vendor,
+                "devices_per_node": site.devices_per_node,
+                "unified_memory": site.gpu.unified_memory,
+                "compiler": f"{site.compiler.name} {site.compiler.version}",
+                "models": list(site.models),
+                "acceleration_threshold": site.acceleration_threshold,
+            }
+            for site in sites
+        ]
+        dump_json(payload, sys.stdout)
+        return 0
+    for site in sites:
         gpu = site.gpu
         print(f"{site.name} ({site.facility})")
         print(f"  host : {site.cpu.name}, {site.cpu.cores_per_node} cores/node")
@@ -148,6 +222,34 @@ def _cmd_sites(_args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis import Baseline
+    from repro.analysis.engine import AnalysisConfig, analyze_repo
+
+    config = AnalysisConfig(grid=args.grid, max_traffic_ratio=args.max_traffic_ratio)
+    report = analyze_repo(config)
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+    if args.write_baseline:
+        Baseline.from_findings(
+            report.findings, reason="accepted at baseline creation"
+        ).save(baseline_path)
+        print(f"wrote {len(report.findings)} suppression(s) to {baseline_path}")
+        return 0
+    if not args.no_baseline and (args.baseline or baseline_path.exists()):
+        report.apply_baseline(Baseline.load(baseline_path))
+
+    if args.json:
+        from repro.utils.jsonio import dump_json
+
+        dump_json(report.to_dict(), sys.stdout)
+    else:
+        print(report.render())
+    return report.exit_code(strict=args.strict)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: parse ``argv`` (default: process args) and dispatch."""
     args = build_parser().parse_args(argv)
@@ -159,6 +261,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_census(args)
     if args.command == "sites":
         return _cmd_sites(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     if args.command == "version":
         from repro.version import __version__
 

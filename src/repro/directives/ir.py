@@ -93,16 +93,17 @@ class LoopNest:
 
     def __post_init__(self) -> None:
         if not self.loops:
-            raise DirectiveError(f"loop nest {self.name} has no loops")
+            raise DirectiveError("loop nest has no loops", kernel=self.name)
         if not (1 <= self.n_outer <= len(self.loops)):
             raise DirectiveError(
-                f"loop nest {self.name}: n_outer={self.n_outer} outside 1..{len(self.loops)}"
+                f"n_outer={self.n_outer} outside 1..{len(self.loops)}",
+                kernel=self.name,
             )
         if self.flops_per_iteration < 0:
-            raise DirectiveError(f"loop nest {self.name}: negative flops per iteration")
+            raise DirectiveError("negative flops per iteration", kernel=self.name)
         names = [a.name for a in self.arrays]
         if len(set(names)) != len(names):
-            raise DirectiveError(f"loop nest {self.name}: duplicate array names")
+            raise DirectiveError("duplicate array names in nest", kernel=self.name)
 
     # -- iteration space -----------------------------------------------------------
     @property
@@ -145,4 +146,4 @@ class LoopNest:
         for a in self.arrays:
             if a.name == name:
                 return a
-        raise DirectiveError(f"loop nest {self.name} has no array {name!r}")
+        raise DirectiveError(f"nest has no array {name!r}", kernel=self.name)

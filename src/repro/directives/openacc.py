@@ -7,6 +7,11 @@ Figure 2)::
     !$acc end kernel
     !$acc parallel loop gang worker num_workers(4) vector_length(32)
     !$acc loop vector reduction(+:tempsum1,tempsum2)
+
+plus the ``async(q)`` clause and the ``!$acc wait`` directive, which the
+paper's kernels do not use but the portability linter checks for
+(``async`` without a matching ``wait`` is a statically detectable
+ordering bug).
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ __all__ = [
     "AccEndKernels",
     "AccParallelLoop",
     "AccLoop",
+    "AccWait",
     "parse_acc",
 ]
 
@@ -42,13 +48,24 @@ class AccDirective:
 
 @dataclass(frozen=True)
 class AccKernels(AccDirective):
-    """``!$acc kernel`` — let the compiler auto-parallelise the region.
+    """``!$acc kernel [async(q)]`` — compiler-auto-parallelised region.
 
     (The paper spells it without the trailing "s"; we reproduce that.)
+    ``async_queue`` detaches the region onto an async queue; the linter's
+    ``async-no-wait`` rule requires a matching :class:`AccWait`.
     """
 
+    async_queue: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.async_queue is not None and self.async_queue < 0:
+            raise DirectiveParseError("async queue must be >= 0")
+
     def to_pragma(self) -> str:
-        return f"{_SENTINEL} kernel"
+        text = f"{_SENTINEL} kernel"
+        if self.async_queue is not None:
+            text += f" async({self.async_queue})"
+        return text
 
 
 @dataclass(frozen=True)
@@ -66,12 +83,15 @@ class AccParallelLoop(AccDirective):
     num_workers: int | None = None
     vector_length: int | None = None
     reduction: tuple[str, ...] = ()
+    async_queue: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_workers is not None and self.num_workers < 1:
             raise DirectiveParseError("num_workers must be >= 1")
         if self.vector_length is not None and self.vector_length < 1:
             raise DirectiveParseError("vector_length must be >= 1")
+        if self.async_queue is not None and self.async_queue < 0:
+            raise DirectiveParseError("async queue must be >= 0")
 
     def to_pragma(self) -> str:
         parts = [f"{_SENTINEL} parallel loop"]
@@ -85,6 +105,8 @@ class AccParallelLoop(AccDirective):
             parts.append(f"vector_length({self.vector_length})")
         if self.reduction:
             parts.append(f"reduction(+:{','.join(self.reduction)})")
+        if self.async_queue is not None:
+            parts.append(f"async({self.async_queue})")
         return " ".join(parts)
 
 
@@ -104,8 +126,25 @@ class AccLoop(AccDirective):
         return " ".join(parts)
 
 
-_CLAUSE_RE = re.compile(r"(num_workers|vector_length)\((\d+)\)")
+@dataclass(frozen=True)
+class AccWait(AccDirective):
+    """``!$acc wait [(q)]`` — synchronise async work (all queues or one)."""
+
+    queue: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.queue is not None and self.queue < 0:
+            raise DirectiveParseError("wait queue must be >= 0")
+
+    def to_pragma(self) -> str:
+        if self.queue is not None:
+            return f"{_SENTINEL} wait({self.queue})"
+        return f"{_SENTINEL} wait"
+
+
+_CLAUSE_RE = re.compile(r"(num_workers|vector_length|async)\((\d+)\)")
 _REDUCTION_RE = re.compile(r"reduction\(\+:([\w,\s]+)\)")
+_WAIT_RE = re.compile(r"^wait(?:\((\d+)\))?$")
 
 
 def parse_acc(pragma: str) -> AccDirective:
@@ -120,10 +159,11 @@ def parse_acc(pragma: str) -> AccDirective:
     if not low.startswith(_SENTINEL):
         raise DirectiveParseError(f"not an OpenACC pragma: {pragma!r}")
     body = low[len(_SENTINEL) :].strip()
-    if body in ("kernel", "kernels"):
-        return AccKernels()
     if body in ("end kernel", "end kernels"):
         return AccEndKernels()
+    m = _WAIT_RE.match(body)
+    if m:
+        return AccWait(queue=int(m.group(1)) if m.group(1) else None)
     reduction: tuple[str, ...] = ()
     m = _REDUCTION_RE.search(body)
     if m:
@@ -134,6 +174,8 @@ def parse_acc(pragma: str) -> AccDirective:
     clauses = dict((k, int(v)) for k, v in _CLAUSE_RE.findall(body_wo))
     body_wo = _CLAUSE_RE.sub("", body_wo)
     tokens = body_wo.split()
+    if tokens in (["kernel"], ["kernels"]):
+        return AccKernels(async_queue=clauses.get("async"))
     if tokens[:2] == ["parallel", "loop"]:
         rest = set(tokens[2:])
         unknown = rest - {"gang", "worker", "vector"}
@@ -145,6 +187,7 @@ def parse_acc(pragma: str) -> AccDirective:
             num_workers=clauses.get("num_workers"),
             vector_length=clauses.get("vector_length"),
             reduction=reduction,
+            async_queue=clauses.get("async"),
         )
     if tokens[:1] == ["loop"]:
         rest = set(tokens[1:])

@@ -50,7 +50,9 @@ class KernelRegistry:
 
     def __init__(self, subroutine: str, total_source_lines: int) -> None:
         if total_source_lines < 1:
-            raise DirectiveError("subroutine must have at least one source line")
+            raise DirectiveError(
+                "subroutine must have at least one source line", subroutine=subroutine
+            )
         self.subroutine = subroutine
         #: Source-line count of the routine being annotated; the paper's
         #: pflux_ is ~400 lines (8 directive lines = 2 %).
@@ -59,7 +61,11 @@ class KernelRegistry:
 
     def register(self, kernel: AnnotatedKernel) -> AnnotatedKernel:
         if kernel.name in self._kernels:
-            raise DirectiveError(f"kernel {kernel.name!r} already registered")
+            raise DirectiveError(
+                "kernel already registered",
+                kernel=kernel.name,
+                subroutine=self.subroutine,
+            )
         self._kernels[kernel.name] = kernel
         return kernel
 
@@ -73,7 +79,11 @@ class KernelRegistry:
         try:
             return self._kernels[name]
         except KeyError:
-            raise DirectiveError(f"no kernel named {name!r} in {self.subroutine}") from None
+            raise DirectiveError(
+                "no kernel with this name is registered",
+                kernel=name,
+                subroutine=self.subroutine,
+            ) from None
 
     # -- census -----------------------------------------------------------------
     def acc_census(self) -> dict[str, int]:
@@ -89,7 +99,9 @@ class KernelRegistry:
         elif model == "openmp":
             census = self.omp_census()
         else:
-            raise DirectiveError(f"unknown model {model!r}")
+            raise DirectiveError(
+                f"unknown model {model!r}", subroutine=self.subroutine
+            )
         return [
             (pragma, count, 100.0 * count / self.total_source_lines)
             for pragma, count in sorted(census.items())

@@ -17,9 +17,21 @@ The inverse direction is defined so that a round trip returns a directive
 with the same offload semantics (clause parameters that have no analog —
 ``num_workers`` / ``vector_length`` — are dropped, as the paper notes these
 are accelerator-specific tuning knobs).
+
+The two models place ``reduction`` clauses differently: the paper's
+OpenACC declares it only on the inner ``!$acc loop`` while its OpenMP
+declares it on *both* the ``teams distribute`` and the ``parallel do``
+level (Tables 4/5).  Translating one directive at a time cannot know the
+other level's clauses, so :func:`translate_kernel_acc_to_omp` /
+:func:`translate_kernel_omp_to_acc` translate a whole
+:class:`~repro.directives.registry.AnnotatedKernel` annotation set and
+hoist/strip the reduction the way the paper's tables do — those are the
+functions whose output censuses reproduce Tables 4 and 5 exactly.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from repro.directives.openacc import (
     AccDirective,
@@ -27,6 +39,7 @@ from repro.directives.openacc import (
     AccKernels,
     AccLoop,
     AccParallelLoop,
+    AccWait,
 )
 from repro.directives.openmp import (
     OmpDirective,
@@ -38,7 +51,15 @@ from repro.directives.openmp import (
 )
 from repro.errors import TranslationError
 
-__all__ = ["acc_to_omp", "omp_to_acc"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.directives.registry import AnnotatedKernel
+
+__all__ = [
+    "acc_to_omp",
+    "omp_to_acc",
+    "translate_kernel_acc_to_omp",
+    "translate_kernel_omp_to_acc",
+]
 
 
 def acc_to_omp(directive: AccDirective) -> OmpDirective | None:
@@ -48,8 +69,10 @@ def acc_to_omp(directive: AccDirective) -> OmpDirective | None:
     form needs no end marker) and maps to ``None``.
     """
     if isinstance(directive, AccKernels):
+        # async is an accelerator-side scheduling knob with no analog in
+        # the paper's OpenMP subset; dropped like the tuning clauses.
         return OmpTargetTeamsDistribute(parallel_do=True, collapse=2)
-    if isinstance(directive, AccEndKernels):
+    if isinstance(directive, (AccEndKernels, AccWait)):
         return None
     if isinstance(directive, AccParallelLoop):
         return OmpTargetTeamsDistribute(
@@ -75,3 +98,53 @@ def omp_to_acc(directive: OmpDirective) -> AccDirective | None:
     if isinstance(directive, (OmpTargetData, OmpEndTargetData, OmpLoop)):
         return None
     raise TranslationError(f"no OpenACC mapping for {type(directive).__name__}")
+
+
+def translate_kernel_acc_to_omp(kernel: "AnnotatedKernel") -> tuple[OmpDirective, ...]:
+    """Translate a kernel's whole OpenACC annotation set to OpenMP.
+
+    Unlike the per-directive :func:`acc_to_omp`, this sees the full set
+    and reproduces the paper's clause placement: the reduction declared
+    on the inner ``!$acc loop`` is *also* hoisted onto the translated
+    ``teams distribute`` level, exactly as Table 5 writes it.
+    """
+    inner_reductions: tuple[str, ...] = ()
+    for d in kernel.acc_directives:
+        if isinstance(d, AccLoop) and d.reduction:
+            inner_reductions = d.reduction
+            break
+    out: list[OmpDirective] = []
+    for d in kernel.acc_directives:
+        omp = acc_to_omp(d)
+        if omp is None:
+            continue
+        if (
+            isinstance(d, AccParallelLoop)
+            and isinstance(omp, OmpTargetTeamsDistribute)
+            and not omp.reduction
+            and inner_reductions
+        ):
+            omp = OmpTargetTeamsDistribute(
+                parallel_do=omp.parallel_do, reduction=inner_reductions
+            )
+        out.append(omp)
+    return tuple(out)
+
+
+def translate_kernel_omp_to_acc(kernel: "AnnotatedKernel") -> tuple[AccDirective, ...]:
+    """Translate a kernel's whole OpenMP annotation set to OpenACC.
+
+    The inverse clause placement of :func:`translate_kernel_acc_to_omp`:
+    OpenACC declares the reduction only on the inner loop, so the
+    ``teams distribute``-level copy is stripped from the translated
+    ``parallel loop`` (Table 4 has no reduction on that row).
+    """
+    out: list[AccDirective] = []
+    for d in kernel.omp_directives:
+        acc = omp_to_acc(d)
+        if acc is None:
+            continue
+        if isinstance(d, OmpTargetTeamsDistribute) and isinstance(acc, AccParallelLoop):
+            acc = AccParallelLoop(gang=acc.gang, worker=acc.worker)
+        out.append(acc)
+    return tuple(out)

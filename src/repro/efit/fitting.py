@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.markers import hot_path
 from repro.efit.boundary import BoundaryResult, find_boundary
 from repro.efit.basis import PolynomialBasis
 from repro.efit.current import basis_current_matrix
@@ -330,6 +331,7 @@ class EfitSolver:
             vessel_currents=np.zeros(self.machine.n_vessel) if self.fit_vessel else None,
         )
 
+    @hot_path
     def iterate_pre(
         self, state: FitState, *, statics: GridStatics | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -431,6 +433,7 @@ class EfitSolver:
             )
         return pcurr, psi_ext_iter
 
+    @hot_path
     def iterate_post(self, state: FitState, psi_new: np.ndarray) -> bool:
         """The post-flux half of one Picard iterate: residual, relaxation,
         history and the convergence decision.  Returns ``True`` once the

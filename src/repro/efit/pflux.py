@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.markers import hot_path
 from repro.efit.grid import RZGrid
 from repro.efit.solvers.base import GSInteriorSolver
 from repro.efit.tables import BoundaryGreensTables
@@ -202,6 +203,7 @@ def edge_flux_operator(tables: BoundaryGreensTables) -> np.ndarray:
     return -np.concatenate([left, right, bottom, top], axis=0)
 
 
+@hot_path
 def boundary_flux_operator(
     operator: np.ndarray, pcurr_flat: np.ndarray, out: np.ndarray | None = None
 ) -> np.ndarray:

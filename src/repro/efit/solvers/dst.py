@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.fft import dst, idst
 
+from repro.analysis.markers import hot_path
 from repro.efit.grid import RZGrid
 from repro.efit.solvers.base import GSInteriorSolver
 from repro.errors import SolverError
@@ -99,6 +100,7 @@ class DSTSolver(GSInteriorSolver):
         x_hat = thomas_multi_rhs(self._lower, self._diag, self._upper, b_hat)
         return idst(x_hat, type=1, axis=1, norm="ortho")
 
+    @hot_path
     def _solve_interior_batch(self, b: np.ndarray) -> np.ndarray:
         """True multi-RHS path: all slices' modes in one Thomas sweep.
 

@@ -28,6 +28,7 @@ __all__ = [
     "LaunchError",
     "CalibrationError",
     "EqdskError",
+    "AnalysisError",
 ]
 
 
@@ -64,7 +65,30 @@ class MeasurementError(ReproError):
 
 
 class DirectiveError(ReproError):
-    """Invalid directive construction or application."""
+    """Invalid directive construction or application.
+
+    Carries the owning ``kernel`` and ``subroutine`` when known, and
+    prefixes the message with the same ``subroutine::kernel`` location
+    format the portability linter uses for its findings, so hand-raised
+    validation errors and linter output read identically.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kernel: str | None = None,
+        subroutine: str | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.subroutine = subroutine
+        if subroutine and kernel:
+            message = f"{subroutine}::{kernel}: {message}"
+        elif kernel:
+            message = f"{kernel}: {message}"
+        elif subroutine:
+            message = f"{subroutine}: {message}"
+        super().__init__(message)
 
 
 class DirectiveParseError(DirectiveError):
@@ -110,3 +134,8 @@ class CalibrationError(ReproError):
 
 class EqdskError(ReproError):
     """G-EQDSK file format error."""
+
+
+class AnalysisError(ReproError):
+    """Static-analysis (portability linter) failure: malformed baseline
+    file, unscannable source, inconsistent analyzer configuration."""

@@ -52,6 +52,28 @@ class WorkspaceCounters:
         total = self.requests
         return self.reuses / total if total else 0.0
 
+    def snapshot(self) -> "WorkspaceCounters":
+        """A frozen-in-time copy, for before/after steady-state checks."""
+        return WorkspaceCounters(
+            allocations=self.allocations,
+            reuses=self.reuses,
+            allocated_bytes=self.allocated_bytes,
+            resident_bytes=self.resident_bytes,
+        )
+
+    def allocations_since(self, previous: "WorkspaceCounters") -> int:
+        """Fresh allocations since ``previous`` (a :meth:`snapshot`).
+
+        The statically certified hot-path functions (see
+        ``repro.analysis``) must report zero here once warm.
+        """
+        delta = self.allocations - previous.allocations
+        if delta < 0:
+            raise RuntimeModelError(
+                "allocation counter moved backwards: snapshot is not from this counter's past"
+            )
+        return delta
+
     def reset(self) -> None:
         self.allocations = 0
         self.reuses = 0

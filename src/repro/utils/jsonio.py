@@ -1,0 +1,38 @@
+"""Shared JSON emission for the ``--json`` CLI flags.
+
+``repro analyze``, ``repro census`` and ``repro sites`` all emit machine
+readable output through this one module so the formatting contract
+(two-space indent, preserved key order, trailing newline) is identical
+across subcommands and stable for CI log diffing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any
+
+from repro.utils.tables import Table
+
+__all__ = ["dump_json", "table_to_dict"]
+
+
+def dump_json(payload: Any, stream: IO[str] | None = None) -> str:
+    """Serialise ``payload`` in the repo's canonical JSON style.
+
+    Key order is preserved (not sorted) so payload authors control the
+    reading order; a trailing newline keeps shell pipelines tidy.  When
+    ``stream`` is given the text is also written there.
+    """
+    text = json.dumps(payload, indent=2, allow_nan=False) + "\n"
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+def table_to_dict(table: Table) -> dict[str, Any]:
+    """A :class:`~repro.utils.tables.Table` as a JSON-friendly mapping."""
+    return {
+        "title": table.title,
+        "headers": list(table.headers),
+        "rows": [list(row) for row in table.rows],
+    }

@@ -1,0 +1,1 @@
+"""Tests of the portability linter (``repro.analysis``)."""

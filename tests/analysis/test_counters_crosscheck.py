@@ -1,0 +1,59 @@
+"""Static/runtime cross-check: linter-certified kernels vs counters.
+
+The linter certifies a ``@hot_path`` function as allocation-free from
+its AST alone; the workspace counters observe actual arena behaviour.
+These tests tie the two together: the certified batched kernels must
+show *zero* steady-state allocations at runtime, so a regression in
+either the static rules or the runtime discipline breaks the pair.
+"""
+
+import pytest
+
+from repro.analysis.engine import analyze_repo
+from repro.batch import BatchFitEngine, synthetic_slice_sequence
+from repro.errors import RuntimeModelError
+from repro.runtime.counters import WorkspaceCounters
+
+
+class TestSnapshotApi:
+    def test_snapshot_is_independent(self):
+        c = WorkspaceCounters()
+        c.record_allocation(100)
+        snap = c.snapshot()
+        c.record_allocation(50)
+        c.record_reuse()
+        assert snap.allocations == 1 and c.allocations == 2
+        assert c.allocations_since(snap) == 1
+
+    def test_allocations_since_rejects_foreign_snapshot(self):
+        c = WorkspaceCounters()
+        future = WorkspaceCounters(allocations=5)
+        with pytest.raises(RuntimeModelError):
+            c.allocations_since(future)
+
+
+class TestCertifiedKernelsAllocationFree:
+    @pytest.fixture(scope="class")
+    def engine(self, shot33):
+        return BatchFitEngine(
+            shot33.machine, shot33.diagnostics, shot33.grid, batch_size=4
+        )
+
+    @pytest.fixture(scope="class")
+    def slices(self, shot33):
+        return synthetic_slice_sequence(shot33, 4, seed=11)
+
+    def test_certified_fit_batch_allocates_nothing_when_warm(self, engine, slices):
+        """The linter certifies ``_fit_batch``; the counters must agree."""
+        report = analyze_repo()
+        assert (
+            "repro.batch.engine::BatchFitEngine._fit_batch"
+            in report.certified_allocation_free
+        )
+        engine.fit_many(slices)  # warm-up batch may allocate arena buffers
+        warm = engine.workspace_counters().snapshot()
+        engine.fit_many(slices)
+        engine.fit_many(slices)
+        steady = engine.workspace_counters()
+        assert steady.allocations_since(warm) == 0
+        assert steady.reuses > warm.reuses

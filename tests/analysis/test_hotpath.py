@@ -1,0 +1,150 @@
+"""Tests of the AST hot-path checkers (one per rule id)."""
+
+import pytest
+
+from repro.analysis.findings import Severity
+from repro.analysis.hotpath import (
+    RULE_ALIAS,
+    RULE_ALLOC,
+    RULE_COPY,
+    RULE_UFUNC,
+    scan_paths,
+    scan_source,
+)
+from repro.analysis.markers import hot_path, is_hot_path
+from repro.errors import AnalysisError
+
+
+def _scan(body: str):
+    """Wrap ``body`` (the statements of a hot function) and scan it."""
+    source = "import numpy as np\n\n@hot_path\ndef kernel(ws, x, out):\n"
+    source += "".join(f"    {line}\n" for line in body.splitlines())
+    return scan_source(source, "fixture.module")
+
+
+class TestMarkers:
+    def test_decorator_is_transparent(self):
+        @hot_path
+        def f(x):
+            return x + 1
+
+        assert f(2) == 3
+        assert is_hot_path(f)
+
+    def test_unmarked_function_is_not_hot(self):
+        def g():
+            pass
+
+        assert not is_hot_path(g)
+
+
+class TestAllocRule:
+    def test_np_zeros_is_flagged(self):
+        scan = _scan("return np.zeros(4)")
+        assert [f.rule_id for f in scan.findings] == [RULE_ALLOC]
+        f = scan.findings[0]
+        assert f.location.ident == "fixture.module::kernel"
+        assert f.detail == "np.zeros"
+        assert "FitWorkspace" in f.fix_hint
+
+    def test_line_number_points_at_the_call(self):
+        scan = _scan("y = x\nz = np.empty(3)\nreturn z")
+        assert scan.findings[0].location.line == 6  # line 2 of the body
+
+    def test_ascontiguousarray_is_not_an_allocator(self):
+        """Deliberate: it is a no-op passthrough on contiguous input."""
+        assert _scan("return np.ascontiguousarray(x)").findings == []
+
+    def test_cold_function_is_not_scanned(self):
+        source = "import numpy as np\ndef cold():\n    return np.zeros(4)\n"
+        scan = scan_source(source, "m")
+        assert scan.findings == [] and scan.hot_functions == []
+
+    def test_nested_function_body_is_not_charged(self):
+        scan = _scan("def helper():\n    return np.zeros(4)\nreturn helper()")
+        assert scan.findings == []
+
+
+class TestCopyAndUfuncRules:
+    def test_method_copy_is_flagged(self):
+        scan = _scan("return x.copy()")
+        assert [f.rule_id for f in scan.findings] == [RULE_COPY]
+
+    def test_ufunc_without_out_is_flagged(self):
+        scan = _scan("return np.abs(x)")
+        assert [f.rule_id for f in scan.findings] == [RULE_UFUNC]
+        assert "out=" in scan.findings[0].fix_hint
+
+    def test_ufunc_with_out_is_clean(self):
+        assert _scan("np.multiply(x, 2.0, out=out)\nreturn out").findings == []
+
+    def test_reduction_helpers_are_not_ufunc_temps(self):
+        """np.max/np.sum return scalars; they are not flagged."""
+        assert _scan("return float(np.max(x)) + float(np.sum(x))").findings == []
+
+
+class TestAliasRule:
+    def test_duplicate_workspace_name_is_an_error(self):
+        scan = _scan('a = ws.array("buf", (4,))\nb = ws.array("buf", (8,))\nreturn a, b')
+        assert [f.rule_id for f in scan.findings] == [RULE_ALIAS]
+        f = scan.findings[0]
+        assert f.severity is Severity.ERROR
+        assert "buf" in f.message
+        assert "distinct name" in f.fix_hint
+
+    def test_distinct_names_are_clean(self):
+        scan = _scan('a = ws.array("rhs", (4,))\nb = ws.array("psi", (4,))\nreturn a, b')
+        assert scan.findings == []
+
+    def test_repeated_request_of_same_name_same_line_ok(self):
+        """One textual request reused in a loop is one logical buffer."""
+        scan = _scan('for _ in range(3):\n    a = ws.array("buf", (4,))\nreturn a')
+        assert scan.findings == []
+
+    def test_np_array_is_not_a_workspace_request(self):
+        scan = _scan('return np.array("x")')
+        assert [f.rule_id for f in scan.findings] == [RULE_ALLOC]
+
+
+class TestCertification:
+    def test_clean_hot_function_is_certified(self):
+        scan = _scan("np.add(x, x, out=out)\nreturn out")
+        assert scan.hot_functions == ["fixture.module::kernel"]
+        assert scan.certified == ("fixture.module::kernel",)
+
+    def test_dirty_hot_function_is_not_certified(self):
+        scan = _scan("return np.zeros(4)")
+        assert scan.certified == ()
+
+    def test_method_qualname_includes_class(self):
+        source = (
+            "import numpy as np\n"
+            "class Engine:\n"
+            "    @hot_path\n"
+            "    def step(self):\n"
+            "        return np.zeros(2)\n"
+        )
+        scan = scan_source(source, "m")
+        assert scan.hot_functions == ["m::Engine.step"]
+        assert scan.findings[0].location.qualname == "Engine.step"
+
+
+class TestScanPaths:
+    def test_syntax_error_raises_analysis_error(self):
+        with pytest.raises(AnalysisError):
+            scan_source("def broken(:\n    pass", "m")
+
+    def test_scan_paths_over_tmp_tree(self, tmp_path):
+        pkg = tmp_path / "hot"
+        pkg.mkdir()
+        (pkg / "a.py").write_text(
+            "import numpy as np\n\n@hot_path\ndef f():\n    return np.zeros(1)\n"
+        )
+        (pkg / "b.py").write_text("def g():\n    return 1\n")
+        scan = scan_paths([pkg], package_root=tmp_path)
+        assert scan.hot_functions == ["repro.hot.a::f"]
+        assert len(scan.findings) == 1
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            scan_paths([tmp_path / "gone.py"], package_root=tmp_path)

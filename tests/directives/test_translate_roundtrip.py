@@ -1,0 +1,121 @@
+"""Round-trip translation over every *registered* pflux kernel.
+
+Satellite coverage for :mod:`repro.directives.translate`: Section 5.2
+claims Tables 4 and 5 "map precisely", so translating each registered
+kernel's real annotations between models must preserve offload
+semantics, and the translated censuses must agree with the paper's
+census tables.
+"""
+
+import pytest
+
+from repro.core import paper
+from repro.core.offload import build_pflux_registry
+from repro.directives.openacc import AccDirective, AccEndKernels
+from repro.directives.openmp import OmpDirective
+from repro.directives.registry import directive_census
+from repro.directives.translate import (
+    acc_to_omp,
+    omp_to_acc,
+    translate_kernel_acc_to_omp,
+    translate_kernel_omp_to_acc,
+)
+from repro.errors import TranslationError
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return build_pflux_registry(65)
+
+
+class TestRoundTripEveryRegisteredKernel:
+    def test_every_acc_directive_translates(self, registry):
+        for kernel in registry:
+            for d in kernel.acc_directives:
+                out = acc_to_omp(d)
+                assert out is None or isinstance(out, OmpDirective)
+
+    def test_every_omp_directive_translates(self, registry):
+        for kernel in registry:
+            for d in kernel.omp_directives:
+                out = omp_to_acc(d)
+                assert out is None or isinstance(out, AccDirective)
+
+    def test_acc_omp_acc_preserves_semantics(self, registry):
+        """Full round trip per kernel: type and reductions survive;
+        only ``end kernel`` markers and tuning clauses are lost."""
+        for kernel in registry:
+            for d in kernel.acc_directives:
+                omp = acc_to_omp(d)
+                if omp is None:
+                    assert isinstance(d, AccEndKernels)
+                    continue
+                back = omp_to_acc(omp)
+                assert type(back).__name__ == type(d).__name__, kernel.name
+                assert getattr(back, "reduction", ()) == getattr(d, "reduction", ())
+
+    def test_omp_acc_omp_preserves_semantics(self, registry):
+        for kernel in registry:
+            for d in kernel.omp_directives:
+                acc = omp_to_acc(d)
+                if acc is None:
+                    continue
+                again = acc_to_omp(acc)
+                assert type(again).__name__ == type(d).__name__, kernel.name
+                assert getattr(again, "reduction", ()) == getattr(d, "reduction", ())
+
+    def test_reduction_kernels_keep_their_reductions(self, registry):
+        """The Figure 2/3 boundary kernels' tempsum reductions must never
+        be dropped by translation (that is the directive-race bug)."""
+        for name in ("boundary_lr", "boundary_tb"):
+            kernel = registry.get(name)
+            translated = [acc_to_omp(d) for d in kernel.acc_directives]
+            declared = set()
+            for d in translated:
+                declared.update(getattr(d, "reduction", ()) or ())
+            assert {"tempsum1", "tempsum2"} <= declared
+
+
+class TestTranslatedCensusesMatchTables:
+    def test_acc_to_omp_census_matches_table5(self, registry):
+        """Kernel-level translation of the whole OpenACC annotation set
+        yields exactly the paper's Table 5 OpenMP census (the reduction
+        is hoisted onto the teams-distribute level, as Table 5 spells it)."""
+        translated = [
+            d for kernel in registry for d in translate_kernel_acc_to_omp(kernel)
+        ]
+        assert directive_census(translated) == paper.TABLE5_OMP_CENSUS
+
+    def test_omp_to_acc_census_matches_table4_minus_end_markers(self, registry):
+        """The inverse direction recovers Table 4 except the ``end
+        kernel`` row, which has no OpenMP analog to come back from."""
+        translated = [
+            d for kernel in registry for d in translate_kernel_omp_to_acc(kernel)
+        ]
+        expected = {
+            form: count
+            for form, count in paper.TABLE4_ACC_CENSUS.items()
+            if form != "!$acc end kernel"
+        }
+        assert directive_census(translated) == expected
+
+    def test_kernel_translation_preserves_boundary_reductions(self, registry):
+        """Both placements end up declared: teams-distribute and
+        parallel-do each carry the tempsum pair after hoisting."""
+        for name in ("boundary_lr", "boundary_tb"):
+            omp = translate_kernel_acc_to_omp(registry.get(name))
+            assert all(d.reduction == ("tempsum1", "tempsum2") for d in omp)
+
+
+class TestTranslationErrors:
+    def test_unknown_directive_types_are_rejected(self):
+        class FakeAcc(AccDirective):
+            pass
+
+        class FakeOmp(OmpDirective):
+            pass
+
+        with pytest.raises(TranslationError):
+            acc_to_omp(FakeAcc())
+        with pytest.raises(TranslationError):
+            omp_to_acc(FakeOmp())
