@@ -48,6 +48,7 @@ from repro.efit.machine import Tokamak
 from repro.efit.measurements import MeasurementSet
 from repro.efit.pflux import boundary_flux_operator, edge_flux_operator, edge_node_indices
 from repro.errors import FittingError
+from repro.obs.hooks import NULL_HOOKS, ObservationHooks
 from repro.profiling.regions import RegionProfiler
 from repro.runtime.counters import WorkspaceCounters
 from repro.utils.constants import MU0
@@ -79,6 +80,10 @@ class BatchFitEngine:
         Worker threads pulling batches off the queue.  Useful when BLAS
         releases the GIL and cores are available; the default of 1 keeps
         execution deterministic and single-core friendly.
+    hooks:
+        Optional :class:`~repro.obs.hooks.ObservationHooks` receiving the
+        batch-level spans/events (``pflux_`` regions carry a ``batch``
+        attribute; per-slice Picard events come from the solver).
     solver_kwargs:
         Forwarded to the underlying :class:`EfitSolver` (bases, solver
         name, tolerances, ...).
@@ -92,6 +97,7 @@ class BatchFitEngine:
         *,
         batch_size: int = 8,
         n_workers: int = 1,
+        hooks: ObservationHooks | None = None,
         **solver_kwargs,
     ) -> None:
         if batch_size < 1:
@@ -100,6 +106,7 @@ class BatchFitEngine:
             raise FittingError("n_workers must be >= 1")
         self.batch_size = batch_size
         self.n_workers = n_workers
+        self.hooks = hooks if hooks is not None else NULL_HOOKS
         #: The shared per-grid setup: Green tables, solver factorisation,
         #: response matrices — built once, reused by every worker.
         self.solver = EfitSolver(machine, diagnostics, grid, **solver_kwargs)
@@ -143,12 +150,14 @@ class BatchFitEngine:
         """Advance one batch of slices in lockstep to convergence."""
         solver = self.solver
         grid = solver.grid
+        hooks = self.hooks
         nw, nh = grid.nw, grid.nh
         nb = len(batch)
         n_edge = self._edge_i.size
 
         states = [
-            solver.start_fit(m, statics=self.statics, profiler=profiler) for m in batch
+            solver.start_fit(m, statics=self.statics, profiler=profiler, hooks=hooks)
+            for m in batch
         ]
         # Fixed-capacity batch buffers, reused across iterates and batches;
         # a ragged final batch takes views so the arena shapes never change.
@@ -169,7 +178,7 @@ class BatchFitEngine:
                 # The serial path feeds ``-pcurr`` to the boundary kernel.
                 np.multiply(pcurr.reshape(grid.size), -1.0, out=pcurr_neg[:, k])
                 np.multiply(self._rhs_factor, pcurr, out=rhs[k])
-            with profiler.region("pflux_"):
+            with hooks.profiled_region(profiler, "pflux_", batch=nb):
                 # One GEMM for the whole batch's boundary Green sums ...
                 boundary_flux_operator(self.edge_operator, pcurr_neg, out=edge)
                 psi_bound[:, self._edge_i, self._edge_j] = edge.T
@@ -215,6 +224,12 @@ class BatchFitEngine:
         results: list[FitResult | None] = [None] * len(slices)
         latencies = np.zeros(len(slices))
         iteration_counts = np.zeros(len(slices), dtype=int)
+        self.hooks.event(
+            "fit_many_start",
+            n_slices=len(slices),
+            batch_size=self.batch_size,
+            n_workers=self.n_workers,
+        )
         t_run0 = time.perf_counter()
 
         def run_batch(worker: int, start: int, batch: Sequence[MeasurementSet]) -> None:
@@ -269,5 +284,12 @@ class BatchFitEngine:
             wall,
             total_iterations=int(iteration_counts.sum()),
             n_converged=sum(1 for r in done if r.converged),
+        )
+        self.hooks.event(
+            "fit_many_end",
+            n_slices=len(slices),
+            wall_seconds=wall,
+            total_iterations=int(iteration_counts.sum()),
+            n_converged=stats.n_converged,
         )
         return BatchFitResult(results=tuple(done), stats=stats, latencies=latencies)

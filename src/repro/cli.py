@@ -12,10 +12,20 @@ Commands
     Describe the modeled machines.
 ``analyze``
     Run the portability linter (directive rules + hot-path rules).
+``trace``
+    Run one traced workload and write a Chrome-trace JSON (plus an
+    optional JSONL record stream).
+``bench``
+    Run the wall-clock benchmark suite; ``--gate`` compares medians
+    against a committed baseline and exits nonzero on regression.
 
-``census``, ``sites`` and ``analyze`` accept ``--json`` and share one
-emitter (:mod:`repro.utils.jsonio`) so their machine-readable output has
-a single formatting contract.
+``census``, ``sites``, ``analyze`` and ``bench`` accept ``--json`` and
+share one emitter (:mod:`repro.utils.jsonio`) so their machine-readable
+output has a single formatting contract.
+
+Exit codes: 0 success; 2 environment/usage error (missing baseline,
+unwritable output path); 3 benchmark-gate regression.  argparse itself
+exits 2 on unknown commands/flags.
 """
 
 from __future__ import annotations
@@ -105,6 +115,56 @@ def build_parser() -> argparse.ArgumentParser:
         default=2.0,
         help="excess-traffic threshold as modeled/streaming bytes (default 2.0)",
     )
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="run one traced workload and write a Chrome trace",
+    )
+    p_tr.add_argument(
+        "case",
+        choices=["g186610", "solovev", "batch", "offload"],
+        help="workload: serial reconstruction (g186610/solovev), the "
+        "batched engine, or the modeled GPU pflux_",
+    )
+    p_tr.add_argument("--grid", type=int, default=65, help="grid size (default 65)")
+    p_tr.add_argument(
+        "--out", metavar="PATH", default="trace.json",
+        help="Chrome-trace output file (default trace.json)",
+    )
+    p_tr.add_argument(
+        "--jsonl", metavar="PATH", default=None,
+        help="also write the flat JSONL record stream here",
+    )
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the benchmark suite; --gate fails on regression vs baseline",
+    )
+    p_bench.add_argument(
+        "--gate", action="store_true",
+        help="compare against the baseline; exit 3 on regression",
+    )
+    p_bench.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="baseline file (default: bench-baseline.json)",
+    )
+    p_bench.add_argument(
+        "--tolerance", type=float, default=None,
+        help="allowed fractional slowdown (default: the baseline's own, else 0.5)",
+    )
+    p_bench.add_argument(
+        "--write-baseline", action="store_true",
+        help="run the suite and (over)write the baseline file",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=5,
+        help="timed samples per benchmark (median is kept; default 5)",
+    )
+    p_bench.add_argument(
+        "--only", metavar="NAME", nargs="+", default=None,
+        help="run only these benchmarks",
+    )
+    p_bench.add_argument("--json", action="store_true", help="emit results as JSON")
 
     sub.add_parser("version", help="print the package version")
     return parser
@@ -227,19 +287,28 @@ def _cmd_analyze(args) -> int:
 
     from repro.analysis import Baseline
     from repro.analysis.engine import AnalysisConfig, analyze_repo
+    from repro.errors import AnalysisError
 
     config = AnalysisConfig(grid=args.grid, max_traffic_ratio=args.max_traffic_ratio)
     report = analyze_repo(config)
 
     baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
     if args.write_baseline:
-        Baseline.from_findings(
-            report.findings, reason="accepted at baseline creation"
-        ).save(baseline_path)
+        try:
+            Baseline.from_findings(
+                report.findings, reason="accepted at baseline creation"
+            ).save(baseline_path)
+        except OSError as exc:
+            print(f"error: cannot write baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
         print(f"wrote {len(report.findings)} suppression(s) to {baseline_path}")
         return 0
     if not args.no_baseline and (args.baseline or baseline_path.exists()):
-        report.apply_baseline(Baseline.load(baseline_path))
+        try:
+            report.apply_baseline(Baseline.load(baseline_path))
+        except AnalysisError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.json:
         from repro.utils.jsonio import dump_json
@@ -248,6 +317,150 @@ def _cmd_analyze(args) -> int:
     else:
         print(report.render())
     return report.exit_code(strict=args.strict)
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import (
+        TraceHooks,
+        TraceRecorder,
+        chrome_trace,
+        region_totals,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    recorder = TraceRecorder()
+    hooks = TraceHooks(recorder)
+    profiler_totals: dict[str, float] = {}
+
+    if args.case == "offload":
+        from repro.compilers.flags import parse_flags
+        from repro.core.offload import PfluxOffloadModel
+        from repro.machines.site import perlmutter
+
+        site = perlmutter()
+        model = site.models[0]
+        build = site.compiler.configure(
+            parse_flags(site.flags(model)), site.env, site.gpu
+        )
+        offload = PfluxOffloadModel(args.grid, args.grid, build, hooks=hooks)
+        offload.invoke()  # staging pass
+        offload.invoke()  # steady state
+        label = f"{site.name}-{model}@{args.grid}x{args.grid}"
+    elif args.case == "batch":
+        from repro.batch import BatchFitEngine, synthetic_slice_sequence
+        from repro.efit.measurements import synthetic_shot_186610
+
+        shot = synthetic_shot_186610(args.grid)
+        slices = synthetic_slice_sequence(shot, 8, seed=3)
+        engine = BatchFitEngine(
+            shot.machine, shot.diagnostics, shot.grid, batch_size=8, hooks=hooks
+        )
+        engine.fit_many(slices)
+        report = engine.profiler_report()
+        profiler_totals = dict(report.totals)
+        label = f"{shot.label} x{len(slices)} slices"
+    else:
+        from repro.efit.fitting import EfitSolver
+        from repro.efit.measurements import (
+            synthetic_shot_186610,
+            synthetic_solovev_shot,
+        )
+
+        shot = (
+            synthetic_shot_186610(args.grid)
+            if args.case == "g186610"
+            else synthetic_solovev_shot(args.grid)
+        )
+        solver = EfitSolver(shot.machine, shot.diagnostics, shot.grid, hooks=hooks)
+        result = solver.fit(shot.measurements)
+        profiler_totals = dict(solver.profiler.report().totals)
+        label = f"{shot.label}: {result.iterations} iterations, chi^2 {result.chi2:.1f}"
+
+    try:
+        write_chrome_trace(recorder, args.out, process_name=f"repro:{args.case}")
+        if args.jsonl:
+            write_jsonl(recorder, args.jsonl)
+    except OSError as exc:
+        print(f"error: cannot write trace: {exc}", file=sys.stderr)
+        return 2
+
+    n_spans = len([r for r in recorder.records if hasattr(r, "duration")])
+    n_events = len(list(recorder.events()))
+    print(f"{label}")
+    print(f"wrote {args.out}: {n_spans} spans, {n_events} events")
+    if args.jsonl:
+        print(f"wrote {args.jsonl}")
+    category = "kernel" if args.case == "offload" else "region"
+    trace_totals = region_totals(chrome_trace(recorder), category=category)
+    if trace_totals:
+        print(f"exclusive totals by {category} [s]:")
+        for name in sorted(trace_totals, key=trace_totals.get, reverse=True):
+            line = f"  {name:<14} {trace_totals[name]:12.6f}"
+            if name in profiler_totals and profiler_totals[name] > 0:
+                ratio = trace_totals[name] / profiler_totals[name]
+                line += f"   (profiler {profiler_totals[name]:.6f}, x{ratio:.4f})"
+            print(line)
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.errors import BenchGateError, ObservabilityError
+    from repro.obs.bench import (
+        DEFAULT_BASELINE_NAME,
+        DEFAULT_TOLERANCE,
+        evaluate_gate,
+        load_baseline,
+        results_payload,
+        run_benchmarks,
+        save_baseline,
+    )
+
+    baseline_path = args.baseline if args.baseline else DEFAULT_BASELINE_NAME
+    try:
+        results = run_benchmarks(args.only, repeats=args.repeats)
+    except (BenchGateError, ObservabilityError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+        try:
+            save_baseline(results, baseline_path, tolerance=tolerance)
+        except OSError as exc:
+            print(f"error: cannot write baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {baseline_path}: {len(results)} benchmark(s), tolerance {tolerance}")
+        return 0
+
+    if args.json:
+        from repro.utils.jsonio import dump_json
+
+        dump_json(results_payload(results), sys.stdout)
+    else:
+        for name, r in results.items():
+            print(f"{name:<22} {r.median_seconds * 1e3:10.3f} ms  (group {r.group})")
+
+    if not args.gate:
+        return 0
+    try:
+        baseline = load_baseline(baseline_path)
+        outcomes, all_ok = evaluate_gate(results, baseline, tolerance=args.tolerance)
+    except BenchGateError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for o in outcomes:
+        verdict = "ok  " if o.ok else "FAIL"
+        print(
+            f"gate {verdict} {o.name:<22} {o.current_seconds * 1e3:10.3f} ms "
+            f"vs baseline {o.baseline_seconds * 1e3:.3f} ms "
+            f"(x{o.ratio:.2f}, limit {o.limit_seconds * 1e3:.3f} ms)"
+        )
+    if not all_ok:
+        print("benchmark gate: REGRESSION detected", file=sys.stderr)
+        return 3
+    print("benchmark gate: ok")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -263,6 +476,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sites(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "version":
         from repro.version import __version__
 

@@ -47,6 +47,7 @@ from repro.efit.grid import RZGrid
 from repro.efit.pflux import PfluxBase, boundary_flux_vectorized
 from repro.efit.solvers.base import GSInteriorSolver
 from repro.efit.tables import BoundaryGreensTables
+from repro.obs.hooks import NULL_HOOKS, ObservationHooks
 from repro.runtime.executor import OffloadExecutor
 from repro.runtime.kernel import ExecutionPlan
 from repro.runtime.memory import DeviceArray, Direction
@@ -258,6 +259,9 @@ class PfluxOffloadModel:
     nw: int
     nh: int
     build: OffloadBuild
+    #: Observation hooks forwarded to the executor: each modeled kernel
+    #: launch becomes a device-clock span tagged with the directive flavor.
+    hooks: ObservationHooks = NULL_HOOKS
 
     def __post_init__(self) -> None:
         arch = self.build.arch
@@ -283,6 +287,8 @@ class PfluxOffloadModel:
             arch=self.build.arch,
             allocation_policy=self.build.allocation_policy,
             use_target_data=self.build.use_target_data,
+            hooks=self.hooks,
+            model=self.build.model,
         )
         self.arrays = pflux_device_arrays(self.nw, self.nh)
 
@@ -321,10 +327,13 @@ class OffloadedPflux(PfluxBase):
         tables: BoundaryGreensTables,
         solver: GSInteriorSolver,
         build: OffloadBuild,
+        hooks: ObservationHooks | None = None,
     ) -> None:
         # PfluxBase is a dataclass; initialise its fields explicitly.
         PfluxBase.__init__(self, grid, tables, solver)
-        self.model = PfluxOffloadModel(grid.nw, grid.nh, build)
+        self.model = PfluxOffloadModel(
+            grid.nw, grid.nh, build, hooks=hooks if hooks is not None else NULL_HOOKS
+        )
 
     def _boundary_flux(self, pcurr: np.ndarray) -> np.ndarray:
         return boundary_flux_vectorized(self.tables, pcurr)

@@ -36,6 +36,7 @@ from repro.efit.response import assemble_response, chi_squared, solve_weighted_l
 from repro.efit.solvers import make_solver
 from repro.efit.tables import cached_boundary_tables
 from repro.errors import ConvergenceError, FittingError
+from repro.obs.hooks import NULL_HOOKS, ObservationHooks
 from repro.profiling.regions import RegionProfiler
 
 __all__ = ["EfitSolver", "FitResult", "FitIterationRecord", "FitState", "GridStatics"]
@@ -91,6 +92,7 @@ class FitState:
     coeffs: np.ndarray
     pcurr: np.ndarray
     profiler: RegionProfiler
+    hooks: ObservationHooks = NULL_HOOKS
     vessel_currents: np.ndarray | None = None
     boundary: BoundaryResult | None = None
     chi2: float = np.inf
@@ -152,6 +154,12 @@ class EfitSolver:
         Optional :class:`RegionProfiler`; regions ``steps_``, ``current_``,
         ``green_``, ``pflux_`` and ``other`` accumulate per ``fit_``
         invocation.
+    hooks:
+        Optional :class:`~repro.obs.hooks.ObservationHooks` (e.g.
+        :class:`~repro.obs.hooks.TraceHooks`).  Mirrors the profiler
+        regions as structured trace spans and emits one
+        ``picard_iteration`` event per iterate with chi^2, residual and
+        boundary attributes.  The default, ``NULL_HOOKS``, is free.
     """
 
     def __init__(
@@ -173,6 +181,7 @@ class EfitSolver:
         fit_vessel: bool = False,
         ridge: float = 1e-10,
         profiler: RegionProfiler | None = None,
+        hooks: ObservationHooks | None = None,
     ) -> None:
         if not (0.0 < relax <= 1.0):
             raise FittingError(f"relaxation parameter {relax} outside (0, 1]")
@@ -195,6 +204,7 @@ class EfitSolver:
         self.fitdelz = fitdelz
         self.ridge = ridge
         self.profiler = profiler if profiler is not None else RegionProfiler()
+        self.hooks = hooks if hooks is not None else NULL_HOOKS
 
         # --- one-time green_ setup -------------------------------------------
         self.tables = cached_boundary_tables(grid)
@@ -299,13 +309,16 @@ class EfitSolver:
         psi_initial: np.ndarray | None = None,
         statics: GridStatics | None = None,
         profiler: RegionProfiler | None = None,
+        hooks: ObservationHooks | None = None,
     ) -> FitState:
         """Validate one slice's inputs and build its initial Picard state.
 
         ``statics`` short-circuits the per-call rebuild of machine/grid
         invariants (see :class:`GridStatics`); ``profiler`` overrides the
         solver-level profiler — batch workers pass their own because
-        :class:`RegionProfiler` nesting is not thread-safe.
+        :class:`RegionProfiler` nesting is not thread-safe.  ``hooks``
+        overrides the solver-level observation hooks (the trace recorder
+        itself is thread-safe, so batch workers share one).
         """
         grid = self.grid
         if measurements.n_measurements != self.diagnostics.n_measurements:
@@ -320,7 +333,7 @@ class EfitSolver:
             raise FittingError("initial psi shape mismatch")
         if not np.all(np.isfinite(psi)):
             raise FittingError("initial psi contains non-finite values")
-        return FitState(
+        state = FitState(
             measurements=measurements,
             psi=psi,
             psi_external=psi_external,
@@ -328,8 +341,16 @@ class EfitSolver:
             coeffs=np.zeros(self.pp_basis.n_terms + self.ffp_basis.n_terms),
             pcurr=np.zeros(grid.shape),
             profiler=profiler if profiler is not None else self.profiler,
+            hooks=hooks if hooks is not None else self.hooks,
             vessel_currents=np.zeros(self.machine.n_vessel) if self.fit_vessel else None,
         )
+        state.hooks.event(
+            "start_fit",
+            grid=f"{grid.nw}x{grid.nh}",
+            n_measurements=measurements.n_measurements,
+            ip=measurements.ip,
+        )
+        return state
 
     @hot_path
     def iterate_pre(
@@ -344,11 +365,12 @@ class EfitSolver:
         """
         grid = self.grid
         profiler = state.profiler
+        hooks = state.hooks
         measurements = state.measurements
         state.iteration += 1
         inside = statics.inside_limiter if statics is not None else None
         samples = statics.limiter_samples if statics is not None else None
-        with profiler.region("steps_"):
+        with hooks.profiled_region(profiler, "steps_", iteration=state.iteration):
             state.boundary = find_boundary(
                 grid,
                 state.psi,
@@ -358,11 +380,11 @@ class EfitSolver:
                 limiter_samples=samples,
             )
         boundary = state.boundary
-        with profiler.region("current_"):
+        with hooks.profiled_region(profiler, "current_", iteration=state.iteration):
             jmat = basis_current_matrix(
                 grid, boundary.psin, boundary.mask, self.pp_basis, self.ffp_basis
             )
-        with profiler.region("green_"):
+        with hooks.profiled_region(profiler, "green_", iteration=state.iteration):
             assembly = assemble_response(
                 self.grid_response,
                 jmat,
@@ -416,7 +438,7 @@ class EfitSolver:
                     1.0 - self.relax_current
                 ) * state.coeffs + self.relax_current * coeffs_lsq
                 state.chi2 = chi_squared(assembly, state.coeffs)
-        with profiler.region("current_"):
+        with hooks.profiled_region(profiler, "current_", iteration=state.iteration):
             pcurr = grid.unflatten(jmat @ state.coeffs)
             if self.fitdelz:
                 vessel_pred = (
@@ -438,7 +460,10 @@ class EfitSolver:
         """The post-flux half of one Picard iterate: residual, relaxation,
         history and the convergence decision.  Returns ``True`` once the
         slice has converged."""
-        with state.profiler.region("steps_"):
+        hooks = state.hooks
+        with hooks.profiled_region(
+            state.profiler, "steps_", iteration=state.iteration
+        ):
             span = float(np.ptp(psi_new))
             if span == 0.0:
                 raise ConvergenceError("flat flux map during fit")
@@ -456,6 +481,17 @@ class EfitSolver:
         )
         if state.residual < self.tol and state.iteration > self.n_warmup:
             state.converged = True
+        if hooks.enabled:
+            hooks.event(
+                "picard_iteration",
+                iteration=state.iteration,
+                chi2=state.chi2,
+                residual=state.residual,
+                psi_axis=state.boundary.psi_axis,
+                psi_boundary=state.boundary.psi_boundary,
+                boundary_type=state.boundary.boundary_type,
+                converged=state.converged,
+            )
         return state.converged
 
     def finish(self, state: FitState, *, require_convergence: bool = True) -> FitResult:
@@ -467,6 +503,13 @@ class EfitSolver:
             )
         profiles = ProfileCoefficients.from_vector(
             self.pp_basis, self.ffp_basis, state.coeffs
+        )
+        state.hooks.event(
+            "finish_fit",
+            converged=state.converged,
+            iterations=len(state.history),
+            chi2=state.chi2,
+            residual=state.residual,
         )
         return FitResult(
             psi=state.psi,
@@ -498,10 +541,15 @@ class EfitSolver:
         ``require_convergence=False`` to inspect the partial result).
         """
         state = self.start_fit(measurements, psi_initial=psi_initial)
+        hooks = state.hooks
         for _ in range(self.max_iters):
-            with self.profiler.region("fit_"):
+            with hooks.profiled_region(
+                self.profiler, "fit_", iteration=state.iteration + 1
+            ):
                 pcurr, psi_ext_iter = self.iterate_pre(state)
-                with self.profiler.region("pflux_"):
+                with hooks.profiled_region(
+                    self.profiler, "pflux_", iteration=state.iteration
+                ):
                     psi_new = self.pflux.compute(pcurr, psi_ext_iter)
                 self.iterate_post(state, psi_new)
             if state.converged:

@@ -19,13 +19,18 @@ import numpy as np
 
 from repro.efit.basis import PolynomialBasis
 from repro.efit.diagnostics import DiagnosticSet
-from repro.efit.forward import ForwardEquilibrium, solve_forward
+from repro.efit.forward import ForwardEquilibrium, design_coil_currents, solve_forward
 from repro.efit.grid import RZGrid
 from repro.efit.machine import Tokamak, diiid_like_machine
 from repro.efit.profiles import ProfileCoefficients
 from repro.errors import MeasurementError
 
-__all__ = ["MeasurementSet", "SyntheticShot", "synthetic_shot_186610"]
+__all__ = [
+    "MeasurementSet",
+    "SyntheticShot",
+    "synthetic_shot_186610",
+    "synthetic_solovev_shot",
+]
 
 
 @dataclass(frozen=True)
@@ -82,10 +87,11 @@ class SyntheticShot:
     grid: RZGrid
     truth: ForwardEquilibrium
     measurements: MeasurementSet
+    name: str = "186610"
 
     @property
     def label(self) -> str:
-        return f"synthetic-186610@{self.grid.nw}x{self.grid.nh}"
+        return f"synthetic-{self.name}@{self.grid.nw}x{self.grid.nh}"
 
 
 def _measure(
@@ -197,3 +203,95 @@ def synthetic_shot_186610(
     if n < 17:
         raise MeasurementError("grid too coarse for a meaningful reconstruction")
     return _cached_shot(n, noise, seed, n_mse, eddy_ka)
+
+
+@lru_cache(maxsize=4)
+def _cached_solovev_shot(
+    n: int, noise: float, seed: int, elongation: float, triangularity: float
+) -> SyntheticShot:
+    from repro.efit.boundary import find_boundary
+    from repro.efit.pflux import PfluxVectorized
+    from repro.efit.solovev import SolovevEquilibrium
+    from repro.efit.solvers import make_solver
+    from repro.efit.tables import cached_boundary_tables
+
+    r0, minor = 1.69, 0.5
+    machine = diiid_like_machine()
+    grid = machine.make_grid(n)
+    analytic = SolovevEquilibrium.shaped(
+        r0=r0, minor_radius=minor, elongation=elongation, triangularity=triangularity
+    )
+    # Ground-truth node currents: the analytic J_phi inside the psi = 0
+    # separatrix (clipped to the limiter), rescaled to exactly ip.
+    inside = (analytic.psi_grid(grid) > 0.0) & machine.limiter.contains(
+        grid.rr, grid.zz
+    )
+    pcurr = np.where(inside, analytic.j_phi(grid.rr, grid.zz) * grid.cell_area, 0.0)
+    ip = 1.0e6
+    pcurr *= ip / pcurr.sum()
+    coil_currents = design_coil_currents(
+        machine,
+        r0=r0,
+        minor_radius=minor,
+        elongation=elongation,
+        triangularity=triangularity,
+        ip=ip,
+    )
+    # Truth flux on the grid: plasma contribution via the pflux_ pipeline
+    # (boundary Greens + Dirichlet solve) plus the coil vacuum flux.
+    tables = cached_boundary_tables(grid)
+    pflux = PfluxVectorized(grid, tables, make_solver("dst", grid))
+    psi = pflux.compute(pcurr, machine.psi_from_coils(grid, coil_currents))
+    boundary = find_boundary(grid, psi, machine.limiter, sign=1)
+    profiles = ProfileCoefficients(
+        PolynomialBasis(1),
+        PolynomialBasis(1),
+        alpha=np.array([analytic.pprime]),
+        beta=np.array([analytic.ffprime]),
+    )
+    truth = ForwardEquilibrium(
+        grid=grid,
+        psi=psi,
+        pcurr=pcurr,
+        boundary=boundary,
+        profiles=profiles,
+        coil_currents=coil_currents,
+        ip=ip,
+        iterations=0,
+        residual=0.0,
+    )
+    diagnostics = DiagnosticSet.for_machine(machine)
+    measurements = _measure(
+        machine, diagnostics, grid, truth, noise=noise, seed=seed
+    )
+    return SyntheticShot(
+        machine=machine,
+        diagnostics=diagnostics,
+        grid=grid,
+        truth=truth,
+        measurements=measurements,
+        name="solovev",
+    )
+
+
+def synthetic_solovev_shot(
+    n: int = 65,
+    *,
+    noise: float = 1e-3,
+    seed: int = 20260806,
+    elongation: float = 1.3,
+    triangularity: float = 0.2,
+) -> SyntheticShot:
+    """A Solov'ev-sourced workload: analytic truth, full reconstruction.
+
+    Unlike :func:`synthetic_shot_186610` (whose ground truth is itself a
+    numeric forward solve), the current density here comes from a
+    closed-form :class:`~repro.efit.solovev.SolovevEquilibrium`, so the
+    golden-regression suite has a second, independently derived workload.
+    The default shape is chosen mildly elongated — a free-boundary
+    reconstruction of a strongly shaped Solov'ev plasma does not converge
+    under plain Picard iteration.
+    """
+    if n < 17:
+        raise MeasurementError("grid too coarse for a meaningful reconstruction")
+    return _cached_solovev_shot(n, noise, seed, elongation, triangularity)

@@ -29,6 +29,8 @@ __all__ = [
     "CalibrationError",
     "EqdskError",
     "AnalysisError",
+    "ObservabilityError",
+    "BenchGateError",
 ]
 
 
@@ -139,3 +141,13 @@ class EqdskError(ReproError):
 class AnalysisError(ReproError):
     """Static-analysis (portability linter) failure: malformed baseline
     file, unscannable source, inconsistent analyzer configuration."""
+
+
+class ObservabilityError(ReproError):
+    """Tracing/metrics misuse: mismatched span nesting, merging
+    histograms with different bucket bounds, duplicate metric names."""
+
+
+class BenchGateError(ObservabilityError):
+    """Benchmark-gate failure that is not a regression: missing or
+    malformed baseline file, unknown benchmark names."""

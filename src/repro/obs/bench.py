@@ -1,0 +1,313 @@
+"""The CLI benchmark suite and its regression gate.
+
+``repro bench`` runs a small, fixed set of real wall-clock benchmarks —
+the CLI-sized distillations of ``benchmarks/bench_fit.py``,
+``bench_batch.py`` and ``bench_kernels.py`` — and reports the median of
+``repeats`` timed samples per case.  ``repro bench --gate`` compares
+those medians against a committed baseline
+(:data:`DEFAULT_BASELINE_NAME`) and exits nonzero when any case exceeds
+``baseline * (1 + tolerance)``: performance regressions fail CI instead
+of waiting for a reviewer to eyeball a table.
+
+Medians (not means) because the first post-warm-up samples still carry
+cache noise; a handicap hook (``REPRO_BENCH_HANDICAP`` or the
+``handicap=`` argument) multiplies measured times so the gate's failure
+path is itself testable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Mapping
+
+from repro.errors import BenchGateError, ObservabilityError
+from repro.utils.jsonio import dump_json
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_BASELINE_NAME",
+    "DEFAULT_TOLERANCE",
+    "HANDICAP_ENV",
+    "BenchCase",
+    "BenchResult",
+    "GateOutcome",
+    "bench_cases",
+    "run_benchmarks",
+    "results_payload",
+    "save_baseline",
+    "load_baseline",
+    "evaluate_gate",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Baseline file ``repro bench --gate`` reads when ``--baseline`` is omitted.
+DEFAULT_BASELINE_NAME = "bench-baseline.json"
+
+#: Default allowed slowdown (50 %) — generous enough for same-machine
+#: jitter, tight enough to catch an accidental O(N^3) Python loop.
+DEFAULT_TOLERANCE = 0.5
+
+#: Environment variable multiplying every measured median — the
+#: synthetic-slowdown hook the gate's own tests use.
+HANDICAP_ENV = "REPRO_BENCH_HANDICAP"
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One named benchmark: a setup returning the zero-arg payload."""
+
+    name: str
+    #: Which benchmark family the case distils (fit / batch / kernels).
+    group: str
+    #: Builds fixtures and returns the callable to time.
+    setup: Callable[[], Callable[[], object]]
+    #: Inner repetitions per timed sample (for sub-ms payloads).
+    inner_loops: int = 1
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Median-of-samples timing of one case."""
+
+    name: str
+    group: str
+    median_seconds: float
+    samples: tuple[float, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "group": self.group,
+            "median_seconds": self.median_seconds,
+            "samples": list(self.samples),
+        }
+
+
+@dataclass(frozen=True)
+class GateOutcome:
+    """One case's verdict against the baseline."""
+
+    name: str
+    baseline_seconds: float
+    current_seconds: float
+    limit_seconds: float
+    ok: bool
+
+    @property
+    def ratio(self) -> float:
+        return (
+            self.current_seconds / self.baseline_seconds
+            if self.baseline_seconds > 0
+            else float("inf")
+        )
+
+
+# -- the suite ---------------------------------------------------------------------
+def _setup_fit_65() -> Callable[[], object]:
+    from repro.efit.fitting import EfitSolver
+    from repro.efit.measurements import synthetic_shot_186610
+
+    shot = synthetic_shot_186610(65)
+    solver = EfitSolver(shot.machine, shot.diagnostics, shot.grid)
+    solver.fit(shot.measurements)  # warm the table cache + BLAS
+    return lambda: solver.fit(shot.measurements)
+
+
+def _setup_batch_65_b8() -> Callable[[], object]:
+    from repro.batch import BatchFitEngine, synthetic_slice_sequence
+    from repro.efit.measurements import synthetic_shot_186610
+
+    shot = synthetic_shot_186610(65)
+    slices = synthetic_slice_sequence(shot, 8, seed=3)
+    engine = BatchFitEngine(shot.machine, shot.diagnostics, shot.grid, batch_size=8)
+    engine.fit_many(slices)  # warm the workspace arenas
+    return lambda: engine.fit_many(slices)
+
+
+def _setup_kernel_boundary_65() -> Callable[[], object]:
+    import numpy as np
+
+    from repro.efit.grid import RZGrid
+    from repro.efit.pflux import boundary_flux_vectorized
+    from repro.efit.tables import cached_boundary_tables
+
+    grid = RZGrid(65, 65)
+    tables = cached_boundary_tables(grid)
+    pcurr = np.random.default_rng(1).normal(size=grid.shape)
+    boundary_flux_vectorized(tables, pcurr)  # warm
+    return lambda: boundary_flux_vectorized(tables, pcurr)
+
+
+def _setup_kernel_dst_solve_65() -> Callable[[], object]:
+    import numpy as np
+
+    from repro.efit.grid import RZGrid
+    from repro.efit.solvers import make_solver
+
+    grid = RZGrid(65, 65)
+    solver = make_solver("dst", grid)
+    rng = np.random.default_rng(3)
+    rhs = rng.normal(size=grid.shape)
+    boundary = rng.normal(size=grid.shape)
+    solver.solve(rhs, boundary)  # warm
+    return lambda: solver.solve(rhs, boundary)
+
+
+_CASES: tuple[BenchCase, ...] = (
+    BenchCase("fit_65", "fit", _setup_fit_65),
+    BenchCase("batch_65_b8", "batch", _setup_batch_65_b8),
+    BenchCase("kernel_boundary_65", "kernels", _setup_kernel_boundary_65, inner_loops=20),
+    BenchCase("kernel_dst_solve_65", "kernels", _setup_kernel_dst_solve_65, inner_loops=20),
+)
+
+
+def bench_cases() -> tuple[BenchCase, ...]:
+    """The registered suite, in execution order."""
+    return _CASES
+
+
+def _resolve(names: Iterable[str] | None) -> tuple[BenchCase, ...]:
+    if names is None:
+        return _CASES
+    by_name = {case.name: case for case in _CASES}
+    missing = [n for n in names if n not in by_name]
+    if missing:
+        raise BenchGateError(
+            f"unknown benchmark(s) {', '.join(sorted(missing))}; "
+            f"known: {', '.join(by_name)}"
+        )
+    return tuple(by_name[n] for n in names)
+
+
+def run_benchmarks(
+    names: Iterable[str] | None = None,
+    *,
+    repeats: int = 5,
+    handicap: float | None = None,
+) -> dict[str, BenchResult]:
+    """Time each case ``repeats`` times; returns name -> result.
+
+    ``handicap`` (default: ``$REPRO_BENCH_HANDICAP`` or 1.0) multiplies
+    every measured time — the documented synthetic-slowdown hook used to
+    verify the gate actually fails.
+    """
+    if repeats < 1:
+        raise ObservabilityError("repeats must be >= 1")
+    if handicap is None:
+        handicap = float(os.environ.get(HANDICAP_ENV, "1.0"))
+    if handicap <= 0.0:
+        raise ObservabilityError(f"handicap must be positive, got {handicap}")
+    results: dict[str, BenchResult] = {}
+    for case in _resolve(names):
+        payload = case.setup()
+        samples = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            for _ in range(case.inner_loops):
+                payload()
+            samples.append(
+                handicap * (time.perf_counter() - t0) / case.inner_loops
+            )
+        results[case.name] = BenchResult(
+            name=case.name,
+            group=case.group,
+            median_seconds=statistics.median(samples),
+            samples=tuple(samples),
+        )
+    return results
+
+
+# -- baseline I/O ------------------------------------------------------------------
+def results_payload(
+    results: Mapping[str, BenchResult], *, tolerance: float = DEFAULT_TOLERANCE
+) -> dict:
+    """The JSON-serialisable form shared by ``--json`` and the baseline."""
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "tolerance": tolerance,
+        "benchmarks": {name: r.to_dict() for name, r in results.items()},
+    }
+
+
+def save_baseline(
+    results: Mapping[str, BenchResult],
+    path: str | Path,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Path:
+    """Write ``results`` as the gate's baseline file; returns the path."""
+    path = Path(path)
+    path.write_text(dump_json(results_payload(results, tolerance=tolerance)))
+    return path
+
+
+def load_baseline(path: str | Path) -> dict:
+    """Read and validate a baseline; raises :class:`BenchGateError`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise BenchGateError(f"baseline file {path} does not exist") from None
+    except json.JSONDecodeError as exc:
+        raise BenchGateError(f"baseline file {path} is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("benchmarks"), dict
+    ):
+        raise BenchGateError(f"baseline file {path} lacks a 'benchmarks' table")
+    if payload.get("schema_version") != BENCH_SCHEMA_VERSION:
+        raise BenchGateError(
+            f"baseline file {path} has schema "
+            f"{payload.get('schema_version')!r}, expected {BENCH_SCHEMA_VERSION}"
+        )
+    for name, entry in payload["benchmarks"].items():
+        if not isinstance(entry, dict) or "median_seconds" not in entry:
+            raise BenchGateError(
+                f"baseline entry {name!r} lacks a median_seconds field"
+            )
+    return payload
+
+
+def evaluate_gate(
+    current: Mapping[str, BenchResult],
+    baseline: Mapping,
+    *,
+    tolerance: float | None = None,
+) -> tuple[list[GateOutcome], bool]:
+    """Compare current medians to the baseline.
+
+    Every baseline entry must be present in ``current`` (a silently
+    dropped benchmark would otherwise pass the gate forever).  Benchmarks
+    present only in ``current`` are ignored — they gate once committed.
+    """
+    if tolerance is None:
+        tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    if tolerance < 0.0:
+        raise BenchGateError(f"tolerance must be >= 0, got {tolerance}")
+    outcomes: list[GateOutcome] = []
+    all_ok = True
+    for name, entry in baseline["benchmarks"].items():
+        base = float(entry["median_seconds"])
+        if name not in current:
+            raise BenchGateError(
+                f"baseline benchmark {name!r} was not run — gate cannot pass "
+                "with missing coverage"
+            )
+        cur = current[name].median_seconds
+        limit = base * (1.0 + tolerance)
+        ok = cur <= limit
+        all_ok = all_ok and ok
+        outcomes.append(
+            GateOutcome(
+                name=name,
+                baseline_seconds=base,
+                current_seconds=cur,
+                limit_seconds=limit,
+                ok=ok,
+            )
+        )
+    return outcomes, all_ok

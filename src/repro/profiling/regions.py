@@ -67,24 +67,42 @@ class RegionProfiler:
     def __init__(self, clock: Clock | None = None) -> None:
         self.clock = clock if clock is not None else WallClock()
         self._stats: dict[str, _RegionStats] = {}
-        self._stack: list[tuple[str, float]] = []  # (name, inner time to subtract)
+        # (name, inner time to subtract, start timestamp)
+        self._stack: list[tuple[str, float, float]] = []
+
+    def begin(self, name: str, now: float | None = None) -> None:
+        """Open a region at ``now`` (default: read the clock).
+
+        The explicit-timestamp form lets a co-instrumenting recorder (see
+        :class:`~repro.obs.hooks.TraceHooks`) share one clock read with
+        the profiler, so both report identical region totals.
+        """
+        if now is None:
+            now = self.clock.now()
+        self._stack.append((name, 0.0, now))
+
+    def end(self, now: float | None = None) -> None:
+        """Close the innermost open region at ``now`` and account it."""
+        if not self._stack:
+            raise ValueError("RegionProfiler.end() without a matching begin()")
+        if now is None:
+            now = self.clock.now()
+        name, inner, start = self._stack.pop()
+        elapsed = now - start
+        stats = self._stats.setdefault(name, _RegionStats())
+        stats.total += elapsed - inner
+        stats.calls += 1
+        if self._stack:
+            outer_name, outer_inner, outer_start = self._stack[-1]
+            self._stack[-1] = (outer_name, outer_inner + elapsed, outer_start)
 
     @contextmanager
     def region(self, name: str):
-        start = self.clock.now()
-        self._stack.append((name, 0.0))
+        self.begin(name)
         try:
             yield
         finally:
-            elapsed = self.clock.now() - start
-            _, inner = self._stack.pop()
-            exclusive = elapsed - inner
-            stats = self._stats.setdefault(name, _RegionStats())
-            stats.total += exclusive
-            stats.calls += 1
-            if self._stack:
-                outer_name, outer_inner = self._stack[-1]
-                self._stack[-1] = (outer_name, outer_inner + elapsed)
+            self.end()
 
     def add(self, name: str, seconds: float, calls: int = 1) -> None:
         """Record time directly (used by the simulated executors)."""

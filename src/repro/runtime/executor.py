@@ -22,6 +22,7 @@ from repro.directives.ir import AccessMode, LoopNest
 from repro.errors import LaunchError, RuntimeModelError
 from repro.hardware.arch import GPUArchitecture
 from repro.hardware.roofline import occupancy_factor, roofline_time
+from repro.obs.hooks import NULL_HOOKS, ObservationHooks
 from repro.profiling.timer import Clock, VirtualClock
 from repro.runtime.allocator import AllocationPolicy, AllocatorModel
 from repro.runtime.counters import CounterSet
@@ -48,6 +49,12 @@ class OffloadExecutor:
     use_target_data: bool = True
     clock: Clock = field(default_factory=VirtualClock)
     counters: CounterSet = field(default_factory=CounterSet)
+    #: Kernel-level observation hooks; each :meth:`launch` emits a
+    #: device-clock span with flops/bytes/launch attributes.
+    hooks: ObservationHooks = NULL_HOOKS
+    #: Directive flavor of the build driving this context (for span
+    #: attribution in traces; free-form, e.g. ``"omp"``/``"acc"``).
+    model: str = ""
 
     def __post_init__(self) -> None:
         self.allocator = AllocatorModel(self.allocation_policy)
@@ -129,7 +136,19 @@ class OffloadExecutor:
             compute_efficiency=plan.compute_efficiency * occupancy,
             bandwidth_efficiency=plan.bandwidth_efficiency * occupancy,
         )
+        start = self.clock.now()
         self.clock.advance(seconds)
+        if self.hooks.enabled:
+            self.hooks.kernel(
+                nest.name,
+                start=start,
+                seconds=seconds,
+                flops=nest.total_flops,
+                hbm_bytes=bytes_moved,
+                launches=plan.launches,
+                arch=self.arch.name,
+                model=self.model,
+            )
         write_fraction = self._write_fraction(nest)
         self.counters.record_launch(
             nest.name,

@@ -1,0 +1,38 @@
+"""Regenerate the committed golden-equilibrium artifacts.
+
+Run after an *intentional* physics change, review the diff, and commit:
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+The test suite compares fresh reconstructions against these files with
+loose-but-meaningful tolerances, so only real behaviour changes — not
+BLAS jitter — require regeneration.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from golden.snapshot import CASES, GOLDEN_DIR, equilibrium_snapshot, reconstruct
+
+
+def main() -> int:
+    for case, filename in CASES.items():
+        result = reconstruct(case)
+        snap = equilibrium_snapshot(case, result)
+        path = GOLDEN_DIR / filename
+        path.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
+        print(
+            f"{case}: wrote {path.name} "
+            f"(iterations={snap['iterations']}, chi2={snap['chi2']:.2f}, "
+            f"axis=({snap['r_axis']:.4f}, {snap['z_axis']:.4f}))"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

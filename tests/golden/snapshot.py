@@ -1,0 +1,67 @@
+"""Shared snapshot schema for the golden-equilibrium regression tests.
+
+``equilibrium_snapshot`` reduces a :class:`~repro.efit.fitting.FitResult`
+to a small JSON-friendly dict of physics scalars and psi checksums; the
+regeneration script (``python tests/golden/regenerate.py``) writes them
+and ``test_golden_equilibria.py`` compares fresh reconstructions against
+the committed artifacts.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).parent
+GOLDEN_SCHEMA_VERSION = 1
+
+#: (case name, artifact file, shot factory kwargs) for both golden cases.
+CASES = {
+    "g186610": "golden_g186610_65.json",
+    "solovev": "golden_solovev_65.json",
+}
+
+
+def make_shot(case: str, n: int = 65):
+    """Build the synthetic shot for a golden case name."""
+    from repro.efit.measurements import synthetic_shot_186610, synthetic_solovev_shot
+
+    if case == "g186610":
+        return synthetic_shot_186610(n)
+    if case == "solovev":
+        return synthetic_solovev_shot(n)
+    raise ValueError(f"unknown golden case {case!r}")
+
+
+def reconstruct(case: str, n: int = 65):
+    """Run the full reconstruction a golden case snapshots."""
+    from repro.efit.fitting import EfitSolver
+
+    shot = make_shot(case, n)
+    solver = EfitSolver(shot.machine, shot.diagnostics, shot.grid)
+    return solver.fit(shot.measurements)
+
+
+def equilibrium_snapshot(case: str, result, n: int = 65) -> dict:
+    """The golden record: psi checksums plus the physics scalars."""
+    psi = result.psi
+    boundary = result.boundary
+    return {
+        "schema_version": GOLDEN_SCHEMA_VERSION,
+        "case": case,
+        "grid": [n, n],
+        "converged": bool(result.converged),
+        "iterations": int(result.iterations),
+        "chi2": float(result.chi2),
+        "residual": float(result.residual),
+        "ip": float(result.ip),
+        "psi_sum": float(psi.sum()),
+        "psi_l1": float(abs(psi).sum()),
+        "psi_l2": float(math.sqrt((psi * psi).sum())),
+        "psi_axis": float(boundary.psi_axis),
+        "psi_boundary": float(boundary.psi_boundary),
+        "r_axis": float(boundary.r_axis),
+        "z_axis": float(boundary.z_axis),
+        "boundary_type": boundary.boundary_type,
+        "plasma_volume_cells": int(boundary.plasma_volume_cells),
+    }

@@ -1,0 +1,61 @@
+"""Golden-equilibrium regression tests.
+
+Fresh 65^2 reconstructions of the g186610-like and Solov'ev synthetic
+shots are compared against committed snapshots of their psi checksums,
+magnetic-axis location, chi^2 and iteration count.  A drifting result
+means the physics changed; if the change is intentional, regenerate with
+``PYTHONPATH=src python tests/golden/regenerate.py`` and commit the diff.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from .snapshot import CASES, GOLDEN_DIR, GOLDEN_SCHEMA_VERSION, equilibrium_snapshot, reconstruct
+
+
+@pytest.fixture(scope="module", params=sorted(CASES))
+def golden_pair(request):
+    case = request.param
+    golden = json.loads((GOLDEN_DIR / CASES[case]).read_text())
+    fresh = equilibrium_snapshot(case, reconstruct(case))
+    return case, golden, fresh
+
+
+class TestGoldenEquilibria:
+    def test_artifact_schema(self, golden_pair):
+        case, golden, _ = golden_pair
+        assert golden["schema_version"] == GOLDEN_SCHEMA_VERSION
+        assert golden["case"] == case
+        assert golden["grid"] == [65, 65]
+        assert golden["converged"] is True
+
+    def test_convergence_and_iterations(self, golden_pair):
+        _, golden, fresh = golden_pair
+        assert fresh["converged"]
+        assert abs(fresh["iterations"] - golden["iterations"]) <= 3
+
+    def test_psi_checksums(self, golden_pair):
+        _, golden, fresh = golden_pair
+        for key in ("psi_sum", "psi_l1", "psi_l2"):
+            assert fresh[key] == pytest.approx(golden[key], rel=1e-4), key
+
+    def test_axis_location(self, golden_pair):
+        _, golden, fresh = golden_pair
+        assert fresh["r_axis"] == pytest.approx(golden["r_axis"], abs=2e-3)
+        assert fresh["z_axis"] == pytest.approx(golden["z_axis"], abs=2e-3)
+        assert fresh["psi_axis"] == pytest.approx(golden["psi_axis"], rel=1e-4)
+        assert fresh["psi_boundary"] == pytest.approx(
+            golden["psi_boundary"], rel=1e-3, abs=1e-6
+        )
+
+    def test_fit_quality(self, golden_pair):
+        _, golden, fresh = golden_pair
+        assert fresh["chi2"] == pytest.approx(golden["chi2"], rel=0.05)
+        assert fresh["ip"] == pytest.approx(golden["ip"], rel=1e-3)
+        assert fresh["boundary_type"] == golden["boundary_type"]
+        assert abs(
+            fresh["plasma_volume_cells"] - golden["plasma_volume_cells"]
+        ) <= 5

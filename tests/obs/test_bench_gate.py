@@ -1,0 +1,158 @@
+"""Benchmark harness and regression gate semantics.
+
+Gate logic is unit-tested against synthetic results (no wall clocks);
+one real-measurement test runs the cheap kernel subset to prove the
+harness times actual payloads, and the handicap hook demonstrates the
+failure path the CI gate depends on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import BenchGateError, ObservabilityError
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchResult,
+    bench_cases,
+    evaluate_gate,
+    load_baseline,
+    results_payload,
+    run_benchmarks,
+    save_baseline,
+)
+
+
+def result(name, median, group="kernels"):
+    return BenchResult(
+        name=name, group=group, median_seconds=median, samples=(median,)
+    )
+
+
+class TestRunner:
+    def test_kernel_subset_measures_real_time(self):
+        results = run_benchmarks(["kernel_dst_solve_65"], repeats=3)
+        r = results["kernel_dst_solve_65"]
+        assert r.group == "kernels"
+        assert len(r.samples) == 3
+        assert r.median_seconds > 0.0
+        assert min(r.samples) <= r.median_seconds <= max(r.samples)
+
+    def test_handicap_scales_measured_times(self):
+        slow = run_benchmarks(
+            ["kernel_dst_solve_65"], repeats=1, handicap=1e6
+        )["kernel_dst_solve_65"]
+        # Even a microsecond payload reads as >= 1s under a 1e6 handicap.
+        assert slow.median_seconds > 1.0
+
+    def test_handicap_env_var_is_read(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_HANDICAP", "1e6")
+        slow = run_benchmarks(["kernel_dst_solve_65"], repeats=1)
+        assert slow["kernel_dst_solve_65"].median_seconds > 1.0
+
+    def test_unknown_case_raises(self):
+        with pytest.raises(BenchGateError, match="unknown benchmark"):
+            run_benchmarks(["nope"], repeats=1)
+
+    def test_bad_repeats_and_handicap_raise(self):
+        with pytest.raises(ObservabilityError, match="repeats"):
+            run_benchmarks(["kernel_dst_solve_65"], repeats=0)
+        with pytest.raises(ObservabilityError, match="handicap"):
+            run_benchmarks(["kernel_dst_solve_65"], repeats=1, handicap=0.0)
+
+    def test_suite_covers_all_three_benchmark_families(self):
+        assert {case.group for case in bench_cases()} == {"fit", "batch", "kernels"}
+
+
+class TestGate:
+    def baseline(self, **medians):
+        return {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "tolerance": 0.5,
+            "benchmarks": {
+                name: {"group": "kernels", "median_seconds": m}
+                for name, m in medians.items()
+            },
+        }
+
+    def test_within_tolerance_passes(self):
+        outcomes, ok = evaluate_gate(
+            {"a": result("a", 1.4)}, self.baseline(a=1.0)
+        )
+        assert ok
+        assert outcomes[0].ok
+        assert outcomes[0].limit_seconds == pytest.approx(1.5)
+        assert outcomes[0].ratio == pytest.approx(1.4)
+
+    def test_regression_fails(self):
+        outcomes, ok = evaluate_gate(
+            {"a": result("a", 1.6)}, self.baseline(a=1.0)
+        )
+        assert not ok
+        assert not outcomes[0].ok
+
+    def test_tolerance_override_beats_baseline_value(self):
+        _, ok = evaluate_gate(
+            {"a": result("a", 1.6)}, self.baseline(a=1.0), tolerance=2.0
+        )
+        assert ok
+        with pytest.raises(BenchGateError, match="tolerance"):
+            evaluate_gate(
+                {"a": result("a", 1.0)}, self.baseline(a=1.0), tolerance=-0.1
+            )
+
+    def test_missing_coverage_raises(self):
+        with pytest.raises(BenchGateError, match="missing coverage"):
+            evaluate_gate({}, self.baseline(a=1.0))
+
+    def test_extra_current_cases_are_ignored(self):
+        _, ok = evaluate_gate(
+            {"a": result("a", 1.0), "new": result("new", 99.0)},
+            self.baseline(a=1.0),
+        )
+        assert ok
+
+
+class TestBaselineIO:
+    def test_round_trip(self, tmp_path):
+        path = save_baseline(
+            {"a": result("a", 0.25)}, tmp_path / "b.json", tolerance=0.75
+        )
+        payload = load_baseline(path)
+        assert payload["tolerance"] == 0.75
+        assert payload["benchmarks"]["a"]["median_seconds"] == 0.25
+        _, ok = evaluate_gate({"a": result("a", 0.3)}, payload)
+        assert ok
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(BenchGateError, match="does not exist"):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_invalid_json_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(BenchGateError, match="not valid JSON"):
+            load_baseline(bad)
+
+    def test_wrong_schema_or_shape_raises(self, tmp_path):
+        p = tmp_path / "b.json"
+        p.write_text(json.dumps({"benchmarks": {}}))
+        with pytest.raises(BenchGateError, match="schema"):
+            load_baseline(p)
+        p.write_text(json.dumps([1, 2]))
+        with pytest.raises(BenchGateError, match="benchmarks"):
+            load_baseline(p)
+        p.write_text(
+            json.dumps(
+                {"schema_version": BENCH_SCHEMA_VERSION, "benchmarks": {"a": {}}}
+            )
+        )
+        with pytest.raises(BenchGateError, match="median_seconds"):
+            load_baseline(p)
+
+    def test_results_payload_matches_saved_file(self, tmp_path):
+        results = {"a": result("a", 0.5)}
+        path = save_baseline(results, tmp_path / "b.json")
+        assert json.loads(path.read_text()) == results_payload(results)

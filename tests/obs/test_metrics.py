@@ -1,0 +1,135 @@
+"""MetricsRegistry: counters/gauges/histograms plus legacy-counter sources."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    cache_source,
+    region_profiler_source,
+    workspace_source,
+)
+from repro.profiling.regions import RegionProfiler
+from repro.profiling.timer import VirtualClock
+from repro.runtime.counters import CacheCounters, WorkspaceCounters
+
+
+class TestPrimitives:
+    def test_counter_monotone(self):
+        c = Counter("launches")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ObservabilityError, match="negative"):
+            c.inc(-1.0)
+
+    def test_gauge_rejects_non_finite(self):
+        g = Gauge("resident_bytes")
+        g.set(1.5)
+        g.set(-2.0)
+        assert g.value == -2.0
+        with pytest.raises(ObservabilityError, match="non-finite"):
+            g.set(math.nan)
+
+    def test_histogram_bucketing_inclusive_upper_bounds(self):
+        h = Histogram("lat", bounds=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 10.0, 11.0):
+            h.observe(v)
+        # <=1 | <=10 | overflow
+        assert h.counts == [2, 2, 1]
+        assert h.total == 5
+        assert h.sum == pytest.approx(27.5)
+        assert h.mean == pytest.approx(5.5)
+
+    def test_histogram_bounds_must_increase(self):
+        with pytest.raises(ObservabilityError, match="strictly increase"):
+            Histogram("bad", bounds=(1.0, 1.0))
+        with pytest.raises(ObservabilityError, match="at least one"):
+            Histogram("empty", bounds=())
+
+    def test_histogram_quantile_conservative(self):
+        h = Histogram("q", bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 3.0):
+            h.observe(v)
+        assert h.quantile(0.25) == 1.0
+        assert h.quantile(0.75) == 2.0
+        assert h.quantile(1.0) == 4.0
+        h.observe(100.0)
+        assert h.quantile(1.0) == math.inf
+        with pytest.raises(ObservabilityError):
+            h.quantile(1.5)
+
+    def test_histogram_merge_requires_same_bounds(self):
+        a = Histogram("a", bounds=(1.0, 2.0))
+        b = Histogram("b", bounds=(1.0, 3.0))
+        with pytest.raises(ObservabilityError, match="bounds differ"):
+            a.merge(b)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ObservabilityError, match="already registered"):
+            reg.gauge("x")
+
+    def test_collect_flattens_metrics_and_sources(self):
+        reg = MetricsRegistry()
+        reg.counter("iters").inc(7)
+        reg.gauge("chi2").set(500.0)
+        h = reg.histogram("dt", bounds=(1.0,))
+        h.observe(0.5)
+        reg.register_source("extra", lambda: {"a": 1.0})
+        snap = reg.collect()
+        assert snap["iters"] == 7.0
+        assert snap["chi2"] == 500.0
+        assert snap["dt.count"] == 1.0
+        assert snap["dt.mean"] == 0.5
+        assert snap["extra.a"] == 1.0
+
+    def test_sources_are_live_not_snapshots(self):
+        reg = MetricsRegistry()
+        ws = WorkspaceCounters()
+        reg.register_source("workspace", workspace_source(ws))
+        assert reg.collect()["workspace.allocations"] == 0.0
+        ws.allocations += 3
+        assert reg.collect()["workspace.allocations"] == 3.0
+
+    def test_duplicate_source_prefix_raises(self):
+        reg = MetricsRegistry()
+        reg.register_source("p", lambda: {})
+        with pytest.raises(ObservabilityError, match="already registered"):
+            reg.register_source("p", lambda: {})
+
+    def test_cache_and_profiler_sources(self):
+        reg = MetricsRegistry()
+        cache = CacheCounters()
+        cache.hits, cache.misses = 9, 1
+        reg.register_source("tables", cache_source(cache))
+        clock = VirtualClock()
+        prof = RegionProfiler(clock)
+        with prof.region("steps_"):
+            clock.advance(2.0)
+        reg.register_source("regions", region_profiler_source(prof))
+        snap = reg.collect()
+        assert snap["tables.hit_rate"] == pytest.approx(0.9)
+        assert snap["regions.steps_.seconds"] == pytest.approx(2.0)
+        assert snap["regions.steps_.calls"] == 1.0
+
+    def test_to_dict_keeps_histogram_buckets(self):
+        reg = MetricsRegistry()
+        reg.histogram("dt", bounds=(1.0, 2.0)).observe(1.5)
+        dumped = reg.to_dict()
+        assert dumped["metrics"]["dt"]["counts"] == [0, 1, 0]
+        assert dumped["collected"]["dt.count"] == 1.0

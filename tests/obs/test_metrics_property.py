@@ -1,0 +1,86 @@
+"""Property tests of Histogram algebra.
+
+``merge`` on fixed-bound histograms must behave like multiset union of
+the underlying samples: associative, commutative, with a zero element —
+the properties that let per-worker histograms combine in any order.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import DEFAULT_SECONDS_BOUNDS, Histogram
+
+samples = st.lists(
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False),
+    max_size=40,
+)
+
+
+def fill(values):
+    h = Histogram("h", DEFAULT_SECONDS_BOUNDS)
+    for v in values:
+        h.observe(v)
+    return h
+
+
+def state(h):
+    return (h.counts, h.total, h.sum)
+
+
+def assert_equivalent(x, y):
+    # Bucket counts and totals are integers and must match exactly; the
+    # running sum is a float accumulation, so compare it to relative eps.
+    assert x.counts == y.counts
+    assert x.total == y.total
+    assert x.sum == pytest.approx(y.sum, rel=1e-12, abs=1e-12)
+
+
+@given(samples, samples)
+@settings(max_examples=100, deadline=None)
+def test_merge_commutative(a, b):
+    ha, hb = fill(a), fill(b)
+    assert_equivalent(ha.merge(hb), hb.merge(ha))
+
+
+@given(samples, samples, samples)
+@settings(max_examples=100, deadline=None)
+def test_merge_associative(a, b, c):
+    ha, hb, hc = fill(a), fill(b), fill(c)
+    left = ha.merge(hb).merge(hc)
+    right = ha.merge(hb.merge(hc))
+    assert_equivalent(left, right)
+
+
+@given(samples)
+@settings(max_examples=100, deadline=None)
+def test_empty_histogram_is_identity(a):
+    h = fill(a)
+    assert_equivalent(h.merge(fill([])), h)
+
+
+@given(samples, samples)
+@settings(max_examples=100, deadline=None)
+def test_merge_equals_merged_observation_stream(a, b):
+    assert_equivalent(fill(a).merge(fill(b)), fill(a + b))
+
+
+@given(samples)
+@settings(max_examples=100, deadline=None)
+def test_counts_nonnegative_and_consistent(a):
+    h = fill(a)
+    assert all(c >= 0 for c in h.counts)
+    assert sum(h.counts) == h.total == len(a)
+    assert h.sum == pytest.approx(sum(a), rel=1e-9, abs=1e-12)
+    assert h.mean == pytest.approx(sum(a) / len(a) if a else 0.0, rel=1e-9, abs=1e-12)
+
+
+@given(samples)
+@settings(max_examples=100, deadline=None)
+def test_merge_never_mutates_operands(a):
+    ha, hb = fill(a), fill([1.0, 2.0])
+    before_a, before_b = state(ha), state(hb)
+    ha.merge(hb)
+    assert state(ha) == before_a and state(hb) == before_b

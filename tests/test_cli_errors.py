@@ -1,0 +1,112 @@
+"""CLI exit-code contracts: 0 success, 2 environment error, 3 gate fail.
+
+Scripts (CI above all) branch on these codes, so they are tested as an
+interface, not an implementation detail.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+FAST_BENCH = ["--only", "kernel_dst_solve_65", "--repeats", "1"]
+
+
+class TestUsageErrors:
+    def test_unknown_subcommand_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["explode"])
+        assert exc.value.code == 2
+
+    def test_unknown_trace_case_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", "nonsense"])
+        assert exc.value.code == 2
+
+
+class TestAnalyzeExitCodes:
+    def test_strict_with_committed_baseline_passes(self):
+        assert main(["analyze", "--strict", "--baseline", "analysis-baseline.json"]) == 0
+
+    def test_no_baseline_reports_findings_nonzero(self, capsys):
+        code = main(["analyze", "--strict", "--no-baseline"])
+        capsys.readouterr()
+        assert code != 0
+
+    def test_missing_baseline_path_is_error(self, tmp_path, capsys):
+        code = main(["analyze", "--baseline", str(tmp_path / "absent.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_write_baseline_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "an.json"
+        assert main(["analyze", "--write-baseline", "--baseline", str(path)]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main(["analyze", "--strict", "--baseline", str(path)]) == 0
+
+
+class TestTraceExitCodes:
+    def test_trace_writes_chrome_and_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        jsonl = tmp_path / "t.jsonl"
+        code = main(
+            ["trace", "g186610", "--grid", "33", "--out", str(out), "--jsonl", str(jsonl)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+        assert jsonl.read_text().count("\n") > 10
+        assert "spans" in capsys.readouterr().out
+
+    def test_unwritable_out_path_exits_2(self, tmp_path, capsys):
+        out = tmp_path / "no" / "such" / "dir" / "t.json"
+        code = main(["trace", "offload", "--out", str(out)])
+        assert code == 2
+        assert "cannot write trace" in capsys.readouterr().err
+
+
+class TestBenchExitCodes:
+    def test_unknown_benchmark_exits_2(self, capsys):
+        code = main(["bench", "--only", "nope", "--repeats", "1"])
+        assert code == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_gate_missing_baseline_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["bench", "--gate", "--baseline", str(tmp_path / "absent.json"), *FAST_BENCH]
+        )
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_gate_pass_and_handicapped_fail(self, tmp_path, capsys, monkeypatch):
+        baseline = tmp_path / "b.json"
+        assert main(["bench", "--write-baseline", "--baseline", str(baseline), *FAST_BENCH]) == 0
+        capsys.readouterr()
+
+        # Same machine, generous tolerance: the gate passes...
+        code = main(
+            ["bench", "--gate", "--baseline", str(baseline), "--tolerance", "10.0", *FAST_BENCH]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "gate ok" in out and "benchmark gate: ok" in out
+
+        # ...until a synthetic 1e6x slowdown trips it with exit code 3.
+        monkeypatch.setenv("REPRO_BENCH_HANDICAP", "1e6")
+        code = main(
+            ["bench", "--gate", "--baseline", str(baseline), "--tolerance", "10.0", *FAST_BENCH]
+        )
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "gate FAIL" in captured.out
+        assert "REGRESSION" in captured.err
+
+    def test_json_payload_shape(self, capsys):
+        assert main(["bench", "--json", *FAST_BENCH]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert "kernel_dst_solve_65" in payload["benchmarks"]
