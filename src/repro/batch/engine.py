@@ -84,6 +84,11 @@ class BatchFitEngine:
         Optional :class:`~repro.obs.hooks.ObservationHooks` receiving the
         batch-level spans/events (``pflux_`` regions carry a ``batch``
         attribute; per-slice Picard events come from the solver).
+    edge_operator:
+        Optional precomputed edge-flux operator
+        (:func:`~repro.efit.pflux.edge_flux_operator` of this grid's
+        tables).  The multi-process fleet passes the shared-memory view
+        here so workers skip the dense-operator build entirely.
     solver_kwargs:
         Forwarded to the underlying :class:`EfitSolver` (bases, solver
         name, tolerances, ...).
@@ -98,6 +103,7 @@ class BatchFitEngine:
         batch_size: int = 8,
         n_workers: int = 1,
         hooks: ObservationHooks | None = None,
+        edge_operator: np.ndarray | None = None,
         **solver_kwargs,
     ) -> None:
         if batch_size < 1:
@@ -112,7 +118,15 @@ class BatchFitEngine:
         self.solver = EfitSolver(machine, diagnostics, grid, **solver_kwargs)
         self.statics = GridStatics.build(machine, grid)
         #: The boundary Green sums factored into one dense operator.
-        self.edge_operator = edge_flux_operator(self.solver.tables)
+        if edge_operator is not None:
+            expected = (2 * (grid.nw + grid.nh) - 4, grid.size)
+            if edge_operator.shape != expected:
+                raise FittingError(
+                    f"edge_operator shape {edge_operator.shape}, expected {expected}"
+                )
+            self.edge_operator = edge_operator
+        else:
+            self.edge_operator = edge_flux_operator(self.solver.tables)
         self._edge_i, self._edge_j = edge_node_indices(grid.nw, grid.nh)
         #: ``rhs = rhs_factor * pcurr`` — same association as the serial path.
         self._rhs_factor = -(MU0 / grid.cell_area) * grid.rr

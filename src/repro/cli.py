@@ -18,14 +18,18 @@ Commands
 ``bench``
     Run the wall-clock benchmark suite; ``--gate`` compares medians
     against a committed baseline and exits nonzero on regression.
+``pfleet``
+    Shard a multi-slice reconstruction across worker processes through
+    the :mod:`repro.parallel` scheduler; optionally write the merged
+    per-worker Chrome trace and compare against the serial engine.
 
 ``census``, ``sites``, ``analyze`` and ``bench`` accept ``--json`` and
 share one emitter (:mod:`repro.utils.jsonio`) so their machine-readable
 output has a single formatting contract.
 
 Exit codes: 0 success; 2 environment/usage error (missing baseline,
-unwritable output path); 3 benchmark-gate regression.  argparse itself
-exits 2 on unknown commands/flags.
+unwritable output path); 3 benchmark-gate regression; 4 quarantined
+parallel jobs.  argparse itself exits 2 on unknown commands/flags.
 """
 
 from __future__ import annotations
@@ -165,6 +169,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only these benchmarks",
     )
     p_bench.add_argument("--json", action="store_true", help="emit results as JSON")
+    p_bench.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the fresh results JSON here (CI artifact hook)",
+    )
+
+    p_pf = sub.add_parser(
+        "pfleet",
+        help="shard a multi-slice reconstruction across worker processes",
+    )
+    p_pf.add_argument(
+        "case", choices=["g186610", "solovev"],
+        help="synthetic shot family to reconstruct",
+    )
+    p_pf.add_argument("--grid", type=int, default=65, help="grid size (default 65)")
+    p_pf.add_argument("--workers", type=int, default=2, help="worker processes (default 2)")
+    p_pf.add_argument("--slices", type=int, default=16, help="time slices (default 16)")
+    p_pf.add_argument(
+        "--batch", type=int, default=4,
+        help="slices per job — the serial engine's batch_size (default 4)",
+    )
+    p_pf.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="per-job timeout in seconds (default 120)",
+    )
+    p_pf.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retry budget per crashed/timed-out job (default 2)",
+    )
+    p_pf.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the merged per-worker Chrome trace here",
+    )
+    p_pf.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the aggregated metrics snapshot here",
+    )
+    p_pf.add_argument(
+        "--compare-serial", action="store_true",
+        help="also run the serial BatchFitEngine and report speedup + equality",
+    )
+    p_pf.add_argument(
+        "--allow-failures", action="store_true",
+        help="report quarantined jobs instead of aborting on them (still exits 4)",
+    )
 
     sub.add_parser("version", help="print the package version")
     return parser
@@ -411,6 +459,7 @@ def _cmd_bench(args) -> int:
         DEFAULT_TOLERANCE,
         evaluate_gate,
         load_baseline,
+        render_gate_table,
         results_payload,
         run_benchmarks,
         save_baseline,
@@ -422,6 +471,16 @@ def _cmd_bench(args) -> int:
     except (BenchGateError, ObservabilityError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.out:
+        from repro.utils.jsonio import dump_json
+
+        try:
+            with open(args.out, "w") as fh:
+                dump_json(results_payload(results), fh)
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+            return 2
 
     if args.write_baseline:
         tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
@@ -449,17 +508,136 @@ def _cmd_bench(args) -> int:
     except BenchGateError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    for o in outcomes:
-        verdict = "ok  " if o.ok else "FAIL"
-        print(
-            f"gate {verdict} {o.name:<22} {o.current_seconds * 1e3:10.3f} ms "
-            f"vs baseline {o.baseline_seconds * 1e3:.3f} ms "
-            f"(x{o.ratio:.2f}, limit {o.limit_seconds * 1e3:.3f} ms)"
-        )
+    # The ratio table prints on success too: a green gate whose margins
+    # are quietly eroding is exactly what the per-commit table catches.
+    print(render_gate_table(outcomes))
     if not all_ok:
         print("benchmark gate: REGRESSION detected", file=sys.stderr)
         return 3
-    print("benchmark gate: ok")
+    worst = max(outcomes, key=lambda o: o.ratio, default=None)
+    if worst is not None:
+        print(
+            f"benchmark gate: ok ({len(outcomes)} case(s), "
+            f"worst ratio x{worst.ratio:.2f} on {worst.name})"
+        )
+    else:
+        print("benchmark gate: ok")
+    return 0
+
+
+def _cmd_pfleet(args) -> int:
+    import numpy as np
+
+    from repro.batch import BatchFitEngine, synthetic_slice_sequence
+    from repro.efit.measurements import synthetic_shot_186610, synthetic_solovev_shot
+    from repro.errors import JobQuarantinedError, ParallelError
+    from repro.obs import TraceHooks, TraceRecorder
+    from repro.parallel import ParallelFitEngine, SchedulerConfig
+    from repro.parallel.merge import write_merged_chrome_trace
+    from repro.utils.jsonio import dump_json
+
+    if args.workers < 1 or args.slices < 1 or args.batch < 1:
+        print("error: --workers, --slices and --batch must be >= 1", file=sys.stderr)
+        return 2
+    shot = (
+        synthetic_shot_186610(args.grid)
+        if args.case == "g186610"
+        else synthetic_solovev_shot(args.grid)
+    )
+    slices = synthetic_slice_sequence(shot, args.slices, seed=3)
+    recorder = TraceRecorder()
+    hooks = TraceHooks(recorder)
+    config = SchedulerConfig(
+        workers=args.workers,
+        timeout_seconds=args.timeout,
+        max_retries=args.max_retries,
+    )
+    print(
+        f"pfleet {args.case}@{args.grid}x{args.grid}: {args.slices} slices "
+        f"across {args.workers} worker(s), {args.batch} slices/job"
+    )
+    failures = ()
+    try:
+        with ParallelFitEngine(
+            shot.machine,
+            shot.diagnostics,
+            shot.grid,
+            batch_size=args.batch,
+            workers=args.workers,
+            hooks=hooks,
+            config=config,
+        ) as engine:
+            arena_mb = engine.arena.nbytes / 1e6
+            print(f"table arena: {engine.arena.spec.shm_name} ({arena_mb:.1f} MB shared)")
+            try:
+                result = engine.fit_many(slices, allow_failures=args.allow_failures)
+            except JobQuarantinedError as exc:
+                for f in exc.failures:
+                    print(
+                        f"quarantined job {f.index}: {f.reason} after "
+                        f"{f.attempts} attempt(s)",
+                        file=sys.stderr,
+                    )
+                print(f"error: {exc}", file=sys.stderr)
+                return 4
+            failures = result.failures
+            print(result.stats.summary())
+            counters = engine.scheduler.counters
+            print(
+                f"scheduler: {counters.completed} completed, {counters.retries} retries, "
+                f"{counters.crashes} crashes, {counters.timeouts} timeouts, "
+                f"{counters.quarantined} quarantined, "
+                f"{counters.worker_restarts} worker restart(s)"
+            )
+            for report in result.worker_reports:
+                print(
+                    f"  worker {report.worker} (pid {report.pid}): "
+                    f"{report.jobs_done} job(s), {len(report.records)} trace record(s)"
+                )
+            if args.trace_out:
+                try:
+                    write_merged_chrome_trace(
+                        result.worker_reports, args.trace_out, parent=recorder
+                    )
+                except OSError as exc:
+                    print(f"error: cannot write {args.trace_out}: {exc}", file=sys.stderr)
+                    return 2
+                print(f"wrote merged trace {args.trace_out}")
+            if args.metrics_out:
+                try:
+                    with open(args.metrics_out, "w") as fh:
+                        dump_json(engine.merged_metrics(), fh)
+                except OSError as exc:
+                    print(f"error: cannot write {args.metrics_out}: {exc}", file=sys.stderr)
+                    return 2
+                print(f"wrote merged metrics {args.metrics_out}")
+            if args.compare_serial:
+                serial = BatchFitEngine(
+                    shot.machine, shot.diagnostics, shot.grid, batch_size=args.batch
+                )
+                serial_result = serial.fit_many(slices)
+                identical = len(result.results) == len(serial_result.results) and all(
+                    np.array_equal(a.psi, b.psi) and a.chi2 == b.chi2
+                    for a, b in zip(result.results, serial_result.results)
+                )
+                speedup = serial_result.stats.wall_seconds / result.wall_seconds
+                print(
+                    f"serial engine: {serial_result.stats.wall_seconds:.3f} s -> "
+                    f"speedup x{speedup:.2f}, bit-identical: {identical}"
+                )
+                if not identical:
+                    print("error: parallel merge diverged from serial", file=sys.stderr)
+                    return 4
+    except ParallelError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if failures:
+        for f in failures:
+            print(
+                f"quarantined job {f.index}: {f.reason} after {f.attempts} attempt(s)",
+                file=sys.stderr,
+            )
+        return 4
     return 0
 
 
@@ -480,6 +658,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "pfleet":
+        return _cmd_pfleet(args)
     if args.command == "version":
         from repro.version import __version__
 

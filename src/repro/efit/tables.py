@@ -192,6 +192,34 @@ class BoundaryTableCache:
             _, evicted = self._entries.popitem(last=False)
             self.counters.record_eviction(evicted.nbytes)
 
+    def seed(self, tables: BoundaryGreensTables) -> None:
+        """Install externally-built tables for their grid.
+
+        The multi-process fleet uses this on the worker side: the parent
+        publishes the tables in a shared-memory arena and each worker
+        seeds its own cache with the read-only view, so every later
+        ``cached_boundary_tables(grid)`` — including the engine-internal
+        ones — resolves to the shared pages instead of an O(N^3) rebuild.
+        Seeding the same grid twice replaces the entry (the bytes are
+        identical by construction); statistics count it as a miss of
+        zero *new* private bytes, since the pages are shared.
+        """
+        key = self._key(tables.grid)
+        if key not in self._entries:
+            self.counters.record_miss(0)
+        self._entries[key] = tables
+        self._entries.move_to_end(key)
+
+    def drop(self, grid: RZGrid) -> None:
+        """Forget the entry for ``grid`` (no-op when absent).
+
+        The parallel engine's inline transport seeds *this* process's
+        cache with shared-memory views; when the backing arena is about
+        to be unlinked those views must not outlive the mapping, so the
+        entry is dropped and the next ``get`` rebuilds privately.
+        """
+        self._entries.pop(self._key(grid), None)
+
     def set_max_bytes(self, max_bytes: int) -> None:
         """Re-bound the cache, evicting immediately if now over budget."""
         if max_bytes < 0:

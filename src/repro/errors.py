@@ -31,6 +31,9 @@ __all__ = [
     "AnalysisError",
     "ObservabilityError",
     "BenchGateError",
+    "ParallelError",
+    "ArenaError",
+    "JobQuarantinedError",
 ]
 
 
@@ -151,3 +154,22 @@ class ObservabilityError(ReproError):
 class BenchGateError(ObservabilityError):
     """Benchmark-gate failure that is not a regression: missing or
     malformed baseline file, unknown benchmark names."""
+
+
+class ParallelError(ReproError):
+    """Multi-process scheduler failure: invalid configuration, a dead
+    worker pool, or a run that could not be completed."""
+
+
+class ArenaError(ParallelError):
+    """Shared-memory table-arena failure: creation, attachment or
+    reference-counting misuse."""
+
+
+class JobQuarantinedError(ParallelError):
+    """One or more jobs exhausted their retry budget (or raised a
+    deterministic error) and were quarantined; carries the failures."""
+
+    def __init__(self, message: str, failures: tuple = ()) -> None:
+        self.failures = failures
+        super().__init__(message)

@@ -42,6 +42,7 @@ __all__ = [
     "save_baseline",
     "load_baseline",
     "evaluate_gate",
+    "render_gate_table",
 ]
 
 BENCH_SCHEMA_VERSION = 1
@@ -129,6 +130,22 @@ def _setup_batch_65_b8() -> Callable[[], object]:
     return lambda: engine.fit_many(slices)
 
 
+def _setup_parallel_65_w4() -> Callable[[], object]:
+    from repro.batch import synthetic_slice_sequence
+    from repro.efit.measurements import synthetic_shot_186610
+    from repro.parallel import ParallelFitEngine
+
+    shot = synthetic_shot_186610(65)
+    slices = synthetic_slice_sequence(shot, 16, seed=3)
+    engine = ParallelFitEngine(
+        shot.machine, shot.diagnostics, shot.grid, batch_size=4, workers=4
+    )
+    engine.fit_many(slices)  # warm: spawns the pool, builds worker engines
+    # The engine (pool + arena) lives in the closure; the process-wide
+    # arena manager unlinks the shared memory at interpreter exit.
+    return lambda: engine.fit_many(slices)
+
+
 def _setup_kernel_boundary_65() -> Callable[[], object]:
     import numpy as np
 
@@ -161,6 +178,7 @@ def _setup_kernel_dst_solve_65() -> Callable[[], object]:
 _CASES: tuple[BenchCase, ...] = (
     BenchCase("fit_65", "fit", _setup_fit_65),
     BenchCase("batch_65_b8", "batch", _setup_batch_65_b8),
+    BenchCase("parallel_65_w4", "parallel", _setup_parallel_65_w4),
     BenchCase("kernel_boundary_65", "kernels", _setup_kernel_boundary_65, inner_loops=20),
     BenchCase("kernel_dst_solve_65", "kernels", _setup_kernel_dst_solve_65, inner_loops=20),
 )
@@ -311,3 +329,20 @@ def evaluate_gate(
             )
         )
     return outcomes, all_ok
+
+
+def render_gate_table(outcomes: Iterable[GateOutcome]) -> str:
+    """The per-case ratio table ``repro bench --gate`` prints.
+
+    Rendered on success *and* failure — a green gate whose margins are
+    quietly eroding is exactly what the per-commit table is for.
+    """
+    lines = []
+    for o in outcomes:
+        verdict = "ok  " if o.ok else "FAIL"
+        lines.append(
+            f"gate {verdict} {o.name:<22} {o.current_seconds * 1e3:10.3f} ms "
+            f"vs baseline {o.baseline_seconds * 1e3:.3f} ms "
+            f"(x{o.ratio:.2f}, limit {o.limit_seconds * 1e3:.3f} ms)"
+        )
+    return "\n".join(lines)

@@ -23,7 +23,12 @@ from typing import Any, Callable, Iterable, Mapping
 
 from repro.errors import ObservabilityError
 from repro.profiling.regions import RegionProfiler
-from repro.runtime.counters import CacheCounters, CounterSet, WorkspaceCounters
+from repro.runtime.counters import (
+    CacheCounters,
+    CounterSet,
+    SchedulerCounters,
+    WorkspaceCounters,
+)
 
 __all__ = [
     "Counter",
@@ -35,6 +40,7 @@ __all__ = [
     "cache_source",
     "region_profiler_source",
     "counter_set_source",
+    "scheduler_source",
 ]
 
 #: Log-spaced bucket bounds [s] covering 1 us .. 100 s — wide enough for
@@ -267,6 +273,24 @@ def region_profiler_source(profiler: RegionProfiler) -> Callable[[], dict[str, f
             out[f"{name}.seconds"] = total
             out[f"{name}.calls"] = float(report.calls[name])
         return out
+
+    return sample
+
+
+def scheduler_source(counters: SchedulerCounters) -> Callable[[], dict[str, float]]:
+    """Live view of a :class:`SchedulerCounters` (job dispositions)."""
+
+    def sample() -> dict[str, float]:
+        return {
+            "submitted": float(counters.submitted),
+            "completed": float(counters.completed),
+            "retries": float(counters.retries),
+            "crashes": float(counters.crashes),
+            "timeouts": float(counters.timeouts),
+            "errors": float(counters.errors),
+            "quarantined": float(counters.quarantined),
+            "worker_restarts": float(counters.worker_restarts),
+        }
 
     return sample
 

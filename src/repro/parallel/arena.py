@@ -1,0 +1,326 @@
+"""Shared-memory arenas for the per-grid Green-function tables.
+
+The boundary Green table is the single largest per-grid object in the
+code base — ``(nw, nh, nw)`` float64, 1.08 GB at 513x513 — and it is
+*immutable* after construction: every worker of a multi-process
+reconstruction fleet reads the identical bytes.  Materialising a private
+copy per worker process would multiply resident memory by the worker
+count and pay the O(N^3) table build once per process.
+
+:class:`TableArena` instead places one read-only copy in a
+``multiprocessing.shared_memory`` segment.  The parent builds it once
+(from the process-wide :class:`~repro.efit.tables.BoundaryTableCache`,
+so a previously cached table is copied, not rebuilt), workers attach by
+name and map the same physical pages.  Worker startup cost is therefore
+O(1) in grid size after the first job, under both ``fork`` and ``spawn``
+start methods — a forked child *re-seeds* its inherited table cache with
+the shared-memory view, so copy-on-write never duplicates the pages
+either.
+
+Lifecycle (see ``docs/PARALLEL.md``):
+
+* the parent-side :class:`ArenaManager` keys arenas by grid geometry and
+  reference-counts them — two engines on the same grid share one arena;
+* :meth:`ArenaManager.release` unlinks the segment at refcount zero;
+* an ``atexit`` hook unlinks anything leaked by a crashed parent, so
+  ``/dev/shm`` is not littered across runs;
+* workers attach read-only (the numpy views have ``writeable = False``)
+  and only ever ``close()`` — the parent owns ``unlink()``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.efit.grid import RZGrid
+from repro.efit.pflux import edge_flux_operator
+from repro.efit.tables import BoundaryGreensTables, cached_boundary_tables
+from repro.errors import ArenaError
+
+__all__ = [
+    "ArenaSegment",
+    "ArenaSpec",
+    "TableArena",
+    "AttachedArena",
+    "ArenaManager",
+    "arena_manager",
+    "attach_arena",
+]
+
+#: Segment alignment inside one shared block (cache-line friendly).
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class ArenaSegment:
+    """One named array inside a shared block (picklable descriptor)."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class ArenaSpec:
+    """Everything a worker needs to attach an arena: the shared-memory
+    segment name, the grid geometry and the array layout.  Picklable, so
+    it travels in the worker-initialisation arguments under ``spawn``."""
+
+    shm_name: str
+    grid_nw: int
+    grid_nh: int
+    grid_rmin: float
+    grid_rmax: float
+    grid_zmin: float
+    grid_zmax: float
+    segments: tuple[ArenaSegment, ...]
+
+    def grid(self) -> RZGrid:
+        return RZGrid(
+            self.grid_nw,
+            self.grid_nh,
+            rmin=self.grid_rmin,
+            rmax=self.grid_rmax,
+            zmin=self.grid_zmin,
+            zmax=self.grid_zmax,
+        )
+
+    def segment(self, name: str) -> ArenaSegment:
+        for seg in self.segments:
+            if seg.name == name:
+                return seg
+        raise ArenaError(f"arena {self.shm_name!r} has no segment {name!r}")
+
+
+def _view(shm: shared_memory.SharedMemory, seg: ArenaSegment) -> np.ndarray:
+    """A read-only ndarray over one segment of ``shm``."""
+    arr = np.ndarray(
+        seg.shape, dtype=np.dtype(seg.dtype), buffer=shm.buf, offset=seg.offset
+    )
+    arr.flags.writeable = False
+    return arr
+
+
+_NAME_SEQ = 0
+_NAME_LOCK = threading.Lock()
+
+
+def _fresh_name() -> str:
+    global _NAME_SEQ
+    with _NAME_LOCK:
+        _NAME_SEQ += 1
+        return f"repro_{os.getpid()}_{_NAME_SEQ}"
+
+
+class TableArena:
+    """Parent-side owner of one shared-memory table block.
+
+    Holds the Green table (``gpc``) and the dense edge-flux operator for
+    one grid.  Create with :meth:`build`; hand :attr:`spec` to workers;
+    :meth:`unlink` exactly once when the last user is done (the
+    :class:`ArenaManager` does the counting).
+    """
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, spec: ArenaSpec
+    ) -> None:
+        self._shm = shm
+        self.spec = spec
+        self._unlinked = False
+
+    @classmethod
+    def build(cls, grid: RZGrid) -> "TableArena":
+        """Copy the (cached) boundary tables + edge operator into shm."""
+        tables = cached_boundary_tables(grid)
+        edge_op = edge_flux_operator(tables)
+        arrays = {"gpc": np.ascontiguousarray(tables.gpc),
+                  "edge_operator": np.ascontiguousarray(edge_op)}
+        segments: list[ArenaSegment] = []
+        offset = 0
+        for name, arr in arrays.items():
+            offset = _aligned(offset)
+            segments.append(
+                ArenaSegment(
+                    name=name,
+                    shape=tuple(arr.shape),
+                    dtype=arr.dtype.str,
+                    offset=offset,
+                )
+            )
+            offset += arr.nbytes
+        try:
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(offset, 1), name=_fresh_name()
+            )
+        except OSError as exc:  # pragma: no cover - environment dependent
+            raise ArenaError(f"cannot create shared-memory arena: {exc}") from exc
+        spec = ArenaSpec(
+            shm_name=shm.name,
+            grid_nw=grid.nw,
+            grid_nh=grid.nh,
+            grid_rmin=grid.rmin,
+            grid_rmax=grid.rmax,
+            grid_zmin=grid.zmin,
+            grid_zmax=grid.zmax,
+            segments=tuple(segments),
+        )
+        arena = cls(shm, spec)
+        for seg in segments:
+            dst = np.ndarray(
+                seg.shape, dtype=np.dtype(seg.dtype), buffer=shm.buf, offset=seg.offset
+            )
+            np.copyto(dst, arrays[seg.name])
+        return arena
+
+    @property
+    def nbytes(self) -> int:
+        return sum(seg.nbytes for seg in self.spec.segments)
+
+    def tables(self) -> BoundaryGreensTables:
+        """The parent's own read-only view (same pages the workers map)."""
+        return BoundaryGreensTables(
+            grid=self.spec.grid(), gpc=_view(self._shm, self.spec.segment("gpc"))
+        )
+
+    def edge_operator(self) -> np.ndarray:
+        return _view(self._shm, self.spec.segment("edge_operator"))
+
+    def unlink(self) -> None:
+        """Close and remove the segment (idempotent; parent-side only)."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+class AttachedArena:
+    """Worker-side view of an arena: attach by name, close on exit.
+
+    Keeps the ``SharedMemory`` handle alive for as long as the numpy
+    views are in use.  The attachment is *not* registered with the
+    ``resource_tracker`` because the *parent* owns the segment's
+    lifetime — without this, every worker exit would race to unlink the
+    arena the other workers are still mapping (a long-standing CPython
+    sharp edge with attached segments; CPython 3.13 adds ``track=False``
+    for exactly this, here emulated by suppressing the registration
+    call during attach).
+    """
+
+    def __init__(self, spec: ArenaSpec) -> None:
+        self.spec = spec
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            self._shm = shared_memory.SharedMemory(name=spec.shm_name)
+        except FileNotFoundError:
+            raise ArenaError(
+                f"arena {spec.shm_name!r} does not exist (parent gone or unlinked)"
+            ) from None
+        finally:
+            resource_tracker.register = original_register
+
+    def tables(self) -> BoundaryGreensTables:
+        return BoundaryGreensTables(
+            grid=self.spec.grid(), gpc=_view(self._shm, self.spec.segment("gpc"))
+        )
+
+    def edge_operator(self) -> np.ndarray:
+        return _view(self._shm, self.spec.segment("edge_operator"))
+
+    def close(self) -> None:
+        self._shm.close()
+
+
+def attach_arena(spec: ArenaSpec) -> AttachedArena:
+    """Worker-side entry point: map the arena described by ``spec``."""
+    return AttachedArena(spec)
+
+
+class ArenaManager:
+    """Reference-counted registry of arenas, keyed by grid geometry.
+
+    ``acquire`` builds the arena on first use and bumps the refcount on
+    every later call with the same grid; ``release`` unlinks at zero.
+    One manager per parent process (see :func:`arena_manager`) means two
+    :class:`~repro.parallel.engine.ParallelFitEngine` instances on the
+    same grid share one physical copy of the tables.
+    """
+
+    def __init__(self) -> None:
+        self._arenas: dict[tuple, TableArena] = {}
+        self._refs: dict[tuple, int] = {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _key(grid: RZGrid) -> tuple:
+        return (grid.nw, grid.nh, grid.rmin, grid.rmax, grid.zmin, grid.zmax)
+
+    def acquire(self, grid: RZGrid) -> TableArena:
+        key = self._key(grid)
+        with self._lock:
+            arena = self._arenas.get(key)
+            if arena is None:
+                arena = TableArena.build(grid)
+                self._arenas[key] = arena
+                self._refs[key] = 0
+            self._refs[key] += 1
+            return arena
+
+    def release(self, grid: RZGrid) -> None:
+        key = self._key(grid)
+        with self._lock:
+            if key not in self._refs:
+                raise ArenaError("release() of an arena that was never acquired")
+            self._refs[key] -= 1
+            if self._refs[key] <= 0:
+                self._arenas.pop(key).unlink()
+                del self._refs[key]
+
+    def refcount(self, grid: RZGrid) -> int:
+        with self._lock:
+            return self._refs.get(self._key(grid), 0)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._arenas)
+
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return sum(a.nbytes for a in self._arenas.values())
+
+    def shutdown(self) -> None:
+        """Unlink everything regardless of refcounts (atexit safety net)."""
+        with self._lock:
+            for arena in self._arenas.values():
+                arena.unlink()
+            self._arenas.clear()
+            self._refs.clear()
+
+
+_MANAGER = ArenaManager()
+atexit.register(_MANAGER.shutdown)
+
+
+def arena_manager() -> ArenaManager:
+    """The process-wide arena manager (parent side)."""
+    return _MANAGER

@@ -1,0 +1,270 @@
+"""The multi-process reconstruction engine.
+
+:class:`ParallelFitEngine` mirrors the
+:class:`~repro.batch.engine.BatchFitEngine` API — same constructor
+shape, same ``fit_many(slices)`` entry point — but shards the slice
+sequence across worker *processes* through the
+:class:`~repro.parallel.scheduler.ProcessScheduler`:
+
+* the parent acquires one shared-memory
+  :class:`~repro.parallel.arena.TableArena` per grid (reference-counted
+  by the process-wide :class:`~repro.parallel.arena.ArenaManager`) and
+  ships only its :class:`~repro.parallel.arena.ArenaSpec` to workers;
+* each worker attaches the arena, seeds its
+  :class:`~repro.efit.tables.BoundaryTableCache` with the read-only
+  view, and builds a private :class:`~repro.batch.engine.BatchFitEngine`
+  on top — worker startup is O(1) in grid size;
+* jobs are the *same* ``batch_size`` groups the serial engine forms
+  (``slices[start : start + batch_size]``), so every slice runs through
+  ``_fit_batch`` with identical array shapes and the merged results are
+  **bit-identical** to a serial ``BatchFitEngine.fit_many`` — BLAS GEMM
+  reductions depend on operand shapes, so sharding at any other
+  granularity would only be close, not equal (the Hypothesis suite pins
+  the equality down);
+* the deterministic merge orders job results by submission index, so
+  worker count and completion order are invisible in the output.
+
+Quarantined jobs (crash-looping or deterministically failing) raise
+:class:`~repro.errors.JobQuarantinedError` by default;
+``allow_failures=True`` instead returns the surviving slices plus the
+:class:`~repro.parallel.scheduler.JobFailure` records.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.batch.engine import BatchFitEngine
+from repro.batch.slices import BatchStats
+from repro.efit.diagnostics import DiagnosticSet
+from repro.efit.fitting import FitResult
+from repro.efit.grid import RZGrid
+from repro.efit.machine import Tokamak
+from repro.efit.tables import boundary_table_cache
+from repro.errors import FittingError, JobQuarantinedError
+from repro.obs.hooks import NULL_HOOKS, ObservationHooks, TraceHooks
+from repro.obs.metrics import MetricsRegistry, scheduler_source
+from repro.parallel.arena import arena_manager, attach_arena
+from repro.parallel.merge import merge_metrics, merged_chrome_trace
+from repro.parallel.scheduler import (
+    JobFailure,
+    ProcessScheduler,
+    SchedulerConfig,
+    WorkerContext,
+    WorkerReport,
+)
+
+__all__ = ["ParallelFitEngine", "ParallelFitResult"]
+
+
+@dataclass(frozen=True)
+class ParallelFitResult:
+    """Everything a parallel ``fit_many`` produces.
+
+    ``results`` holds the completed slices in submission order — with no
+    failures it is element-wise identical to the serial engine's tuple.
+    ``latencies`` are per-slice completion times measured inside each
+    worker from its job start (comparable across workers; *not* offset
+    by queueing delay).
+    """
+
+    results: tuple[FitResult, ...]
+    stats: BatchStats
+    latencies: np.ndarray
+    failures: tuple[JobFailure, ...]
+    worker_reports: tuple[WorkerReport, ...]
+    wall_seconds: float
+
+
+# -- worker-side plumbing (module level: picklable under spawn) --------------------
+def _init_fit_worker(
+    ctx: WorkerContext,
+    spec,
+    machine: Tokamak,
+    diagnostics: DiagnosticSet,
+    batch_size: int,
+    solver_kwargs: dict,
+) -> dict[str, Any]:
+    """Attach the table arena and build this worker's private engine."""
+    arena = attach_arena(spec)
+    tables = arena.tables()
+    # Every later cached_boundary_tables(grid) in this process — including
+    # the engine's own — now resolves to the shared pages.
+    boundary_table_cache().seed(tables)
+    engine = BatchFitEngine(
+        machine,
+        diagnostics,
+        spec.grid(),
+        batch_size=batch_size,
+        hooks=ctx.hooks,
+        edge_operator=arena.edge_operator(),
+        **solver_kwargs,
+    )
+    ctx.metrics.register_source(
+        "table_cache", lambda: boundary_table_cache().cache_info()
+    )
+    return {"arena": arena, "engine": engine}
+
+
+def _run_fit_job(state: dict[str, Any], payload: tuple) -> tuple:
+    """Reconstruct one batch group; returns (results, latencies, iters)."""
+    slices, require_convergence = payload
+    engine: BatchFitEngine = state["engine"]
+    out = engine.fit_many(slices, require_convergence=require_convergence)
+    return (out.results, out.latencies, out.stats.total_iterations)
+
+
+class ParallelFitEngine:
+    """Reconstruct many time slices across worker processes.
+
+    Parameters mirror :class:`~repro.batch.engine.BatchFitEngine`;
+    ``workers`` replaces ``n_workers`` (processes, not threads) and
+    ``config`` exposes the scheduler policy (timeouts, retry budget,
+    transport).  Use as a context manager — or call :meth:`close` — to
+    stop the pool and release the table arena.
+    """
+
+    def __init__(
+        self,
+        machine: Tokamak,
+        diagnostics: DiagnosticSet,
+        grid: RZGrid,
+        *,
+        batch_size: int = 8,
+        workers: int = 2,
+        hooks: ObservationHooks | None = None,
+        config: SchedulerConfig | None = None,
+        **solver_kwargs,
+    ) -> None:
+        if batch_size < 1:
+            raise FittingError("batch_size must be >= 1")
+        self.batch_size = batch_size
+        self.hooks = hooks if hooks is not None else NULL_HOOKS
+        self.grid = grid
+        if config is None:
+            config = SchedulerConfig(workers=workers)
+        elif config.workers != workers and workers != 2:
+            raise FittingError(
+                "pass the worker count either as workers= or in config=, not both"
+            )
+        self.config = config
+        self._manager = arena_manager()
+        self.arena = self._manager.acquire(grid)
+        self._released = False
+        self.scheduler = ProcessScheduler(
+            _init_fit_worker,
+            (self.arena.spec, machine, diagnostics, batch_size, dict(solver_kwargs)),
+            _run_fit_job,
+            config=self.config,
+            hooks=self.hooks,
+        )
+        #: Parent-side registry: scheduler counters as a live source.
+        self.metrics = MetricsRegistry()
+        self.metrics.register_source(
+            "scheduler", scheduler_source(self.scheduler.counters)
+        )
+        self._last_reports: tuple[WorkerReport, ...] = ()
+
+    # -- lifecycle -----------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the worker pool and release the table arena (idempotent)."""
+        self.scheduler.close()
+        if not self._released:
+            self._released = True
+            if self.config.transport == "inline":
+                # Inline workers ran _init_fit_worker in *this* process and
+                # seeded the process-global table cache with views over the
+                # arena's pages.  Those views must not outlive the mapping.
+                boundary_table_cache().drop(self.grid)
+            self._manager.release(self.grid)
+
+    def __enter__(self) -> "ParallelFitEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
+
+    # -- the parallel run ----------------------------------------------------------
+    def fit_many(
+        self,
+        slices: Sequence,
+        *,
+        require_convergence: bool = True,
+        allow_failures: bool = False,
+    ) -> ParallelFitResult:
+        """Reconstruct every slice; deterministic merge by submission index.
+
+        Jobs are the serial engine's exact ``batch_size`` groups, so with
+        zero failures the merged ``results`` tuple is bit-identical to
+        ``BatchFitEngine.fit_many`` on the same slices.  Quarantined jobs
+        raise :class:`~repro.errors.JobQuarantinedError` unless
+        ``allow_failures=True``, in which case the surviving slices are
+        returned alongside the failure records.
+        """
+        slices = list(slices)
+        if not slices:
+            raise FittingError("fit_many needs at least one slice")
+        groups = [
+            slices[start : start + self.batch_size]
+            for start in range(0, len(slices), self.batch_size)
+        ]
+        t0 = time.perf_counter()
+        schedule = self.scheduler.run(
+            [(group, require_convergence) for group in groups]
+        )
+        self._last_reports = schedule.reports
+        if schedule.failures and not allow_failures:
+            lost = ", ".join(
+                f"job {f.index} ({f.reason} x{f.attempts})" for f in schedule.failures
+            )
+            raise JobQuarantinedError(
+                f"{len(schedule.failures)} job(s) quarantined: {lost}",
+                failures=schedule.failures,
+            )
+        results: list[FitResult] = []
+        latencies: list[float] = []
+        total_iterations = 0
+        for outcome in schedule.outcomes:
+            group_results, group_latencies, group_iters = outcome.result
+            results.extend(group_results)
+            latencies.extend(float(v) for v in group_latencies)
+            total_iterations += int(group_iters)
+        wall = time.perf_counter() - t0
+        if not results:
+            raise JobQuarantinedError(
+                "every job was quarantined", failures=schedule.failures
+            )
+        lat = np.asarray(latencies)
+        stats = BatchStats.from_latencies(
+            lat,
+            wall,
+            total_iterations=total_iterations,
+            n_converged=sum(1 for r in results if r.converged),
+        )
+        return ParallelFitResult(
+            results=tuple(results),
+            stats=stats,
+            latencies=lat,
+            failures=schedule.failures,
+            worker_reports=schedule.reports,
+            wall_seconds=wall,
+        )
+
+    # -- merged observability ------------------------------------------------------
+    def merged_trace(self) -> dict[str, Any]:
+        """Chrome-trace payload of the last run: parent lane + worker lanes."""
+        parent = (
+            self.hooks.recorder if isinstance(self.hooks, TraceHooks) else None
+        )
+        return merged_chrome_trace(self._last_reports, parent=parent)
+
+    def merged_metrics(self) -> dict[str, Any]:
+        """Aggregated worker metrics of the last run, plus parent counters."""
+        merged = merge_metrics(self._last_reports)
+        merged["parent"] = self.metrics.collect()
+        return merged

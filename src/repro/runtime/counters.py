@@ -13,7 +13,13 @@ from dataclasses import dataclass, field
 
 from repro.errors import RuntimeModelError
 
-__all__ = ["KernelCounters", "CounterSet", "WorkspaceCounters", "CacheCounters"]
+__all__ = [
+    "KernelCounters",
+    "CounterSet",
+    "WorkspaceCounters",
+    "CacheCounters",
+    "SchedulerCounters",
+]
 
 
 @dataclass
@@ -115,6 +121,55 @@ class CacheCounters:
         self.misses = 0
         self.evictions = 0
         self.stored_bytes = 0
+
+
+@dataclass
+class SchedulerCounters:
+    """Job accounting of the multi-process reconstruction scheduler.
+
+    The retry/quarantine path is only trustworthy if it is observable:
+    the parallel-stress CI job injects worker crashes and then asserts
+    through these counters that every submitted job was either completed
+    or quarantined — never silently dropped — and that ``crashes`` and
+    ``retries`` actually moved.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    retries: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    quarantined: int = 0
+    worker_restarts: int = 0
+
+    @property
+    def accounted(self) -> int:
+        """Jobs with a final disposition (completed or quarantined)."""
+        return self.completed + self.quarantined
+
+    def snapshot(self) -> "SchedulerCounters":
+        """A frozen-in-time copy, for before/after assertions."""
+        return SchedulerCounters(
+            submitted=self.submitted,
+            completed=self.completed,
+            retries=self.retries,
+            crashes=self.crashes,
+            timeouts=self.timeouts,
+            errors=self.errors,
+            quarantined=self.quarantined,
+            worker_restarts=self.worker_restarts,
+        )
+
+    def reset(self) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.retries = 0
+        self.crashes = 0
+        self.timeouts = 0
+        self.errors = 0
+        self.quarantined = 0
+        self.worker_restarts = 0
 
 
 @dataclass

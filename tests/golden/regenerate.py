@@ -1,4 +1,4 @@
-"""Regenerate the committed golden-equilibrium artifacts.
+"""Regenerate — or verify — the committed golden-equilibrium artifacts.
 
 Run after an *intentional* physics change, review the diff, and commit:
 
@@ -7,11 +7,20 @@ Run after an *intentional* physics change, review the diff, and commit:
 The test suite compares fresh reconstructions against these files with
 loose-but-meaningful tolerances, so only real behaviour changes — not
 BLAS jitter — require regeneration.
+
+``--check`` regenerates in memory and *compares* instead of writing,
+with exactly the tolerances ``test_golden_equilibria.py`` applies
+(iterations within 3, psi checksums to 1e-4 relative, axis to 2e-3 m,
+chi^2 to 5 %, Ip to 0.1 %, plasma volume within 5 cells).  Exit status 1
+on drift — the nightly workflow runs this to catch slow divergence that
+per-PR test noise thresholds would absorb.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import math
 import sys
 from pathlib import Path
 
@@ -19,8 +28,78 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 
 from golden.snapshot import CASES, GOLDEN_DIR, equilibrium_snapshot, reconstruct
 
+#: field -> (kind, tolerance); mirrors test_golden_equilibria.py exactly.
+_TOLERANCES = {
+    "converged": ("exact", None),
+    "boundary_type": ("exact", None),
+    "iterations": ("abs", 3),
+    "plasma_volume_cells": ("abs", 5),
+    "psi_sum": ("rel", 1e-4),
+    "psi_l1": ("rel", 1e-4),
+    "psi_l2": ("rel", 1e-4),
+    "psi_axis": ("rel", 1e-4),
+    "psi_boundary": ("rel", 1e-3),
+    "r_axis": ("abs", 2e-3),
+    "z_axis": ("abs", 2e-3),
+    "chi2": ("rel", 0.05),
+    "ip": ("rel", 1e-3),
+}
 
-def main() -> int:
+
+def _drifted(kind: str, tol, golden, fresh) -> bool:
+    if kind == "exact":
+        return fresh != golden
+    if kind == "abs":
+        return abs(fresh - golden) > tol
+    return not math.isclose(fresh, golden, rel_tol=tol, abs_tol=1e-6)
+
+
+def check_case(case: str) -> list[str]:
+    """Field-level drift report for one golden case (empty = clean)."""
+    path = GOLDEN_DIR / CASES[case]
+    if not path.exists():
+        return [f"missing artifact {path.name}"]
+    golden = json.loads(path.read_text())
+    fresh = equilibrium_snapshot(case, reconstruct(case))
+    drift = []
+    for field, (kind, tol) in _TOLERANCES.items():
+        if _drifted(kind, tol, golden[field], fresh[field]):
+            drift.append(
+                f"{field}: golden={golden[field]!r} fresh={fresh[field]!r} "
+                f"({kind} tolerance {tol})"
+            )
+    return drift
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare fresh reconstructions against the committed artifacts "
+        "instead of overwriting them; exit 1 on drift",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        clean = True
+        for case in CASES:
+            drift = check_case(case)
+            if drift:
+                clean = False
+                print(f"{case}: DRIFT")
+                for line in drift:
+                    print(f"  {line}")
+            else:
+                print(f"{case}: ok")
+        if not clean:
+            print(
+                "golden drift detected — if intentional, regenerate with "
+                "`PYTHONPATH=src python tests/golden/regenerate.py` and "
+                "commit the diff"
+            )
+        return 0 if clean else 1
+
     for case, filename in CASES.items():
         result = reconstruct(case)
         snap = equilibrium_snapshot(case, result)

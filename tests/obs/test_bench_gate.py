@@ -62,8 +62,13 @@ class TestRunner:
         with pytest.raises(ObservabilityError, match="handicap"):
             run_benchmarks(["kernel_dst_solve_65"], repeats=1, handicap=0.0)
 
-    def test_suite_covers_all_three_benchmark_families(self):
-        assert {case.group for case in bench_cases()} == {"fit", "batch", "kernels"}
+    def test_suite_covers_all_benchmark_families(self):
+        assert {case.group for case in bench_cases()} == {
+            "fit",
+            "batch",
+            "parallel",
+            "kernels",
+        }
 
 
 class TestGate:

@@ -1,0 +1,147 @@
+"""Shared-memory table arenas: build, attach, refcount, unlink."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.efit.grid import RZGrid
+from repro.efit.pflux import edge_flux_operator
+from repro.efit.tables import (
+    BoundaryTableCache,
+    build_boundary_tables,
+    cached_boundary_tables,
+)
+from repro.errors import ArenaError
+from repro.parallel import ArenaManager, TableArena, attach_arena
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return RZGrid(17, 17)
+
+
+@pytest.fixture(scope="module")
+def arena(grid):
+    arena = TableArena.build(grid)
+    yield arena
+    arena.unlink()
+
+
+class TestTableArena:
+    def test_tables_match_direct_build(self, grid, arena):
+        direct = cached_boundary_tables(grid)
+        np.testing.assert_array_equal(arena.tables().gpc, direct.gpc)
+
+    def test_edge_operator_matches(self, grid, arena):
+        expected = edge_flux_operator(cached_boundary_tables(grid))
+        np.testing.assert_array_equal(arena.edge_operator(), expected)
+
+    def test_views_are_read_only(self, arena):
+        with pytest.raises(ValueError):
+            arena.tables().gpc[0, 0, 0] = 1.0
+        with pytest.raises(ValueError):
+            arena.edge_operator()[0, 0] = 1.0
+
+    def test_spec_reconstructs_grid(self, grid, arena):
+        assert arena.spec.grid() == grid
+
+    def test_spec_unknown_segment(self, arena):
+        with pytest.raises(ArenaError):
+            arena.spec.segment("nope")
+
+    def test_nbytes_covers_both_segments(self, grid, arena):
+        tables = cached_boundary_tables(grid)
+        edge_op = edge_flux_operator(tables)
+        assert arena.nbytes == tables.gpc.nbytes + edge_op.nbytes
+
+    def test_unlink_is_idempotent(self, grid):
+        arena = TableArena.build(grid)
+        arena.unlink()
+        arena.unlink()
+
+
+class TestAttach:
+    def test_attach_sees_identical_bytes(self, grid, arena):
+        attached = attach_arena(arena.spec)
+        try:
+            np.testing.assert_array_equal(
+                attached.tables().gpc, cached_boundary_tables(grid).gpc
+            )
+            np.testing.assert_array_equal(
+                attached.edge_operator(), arena.edge_operator()
+            )
+        finally:
+            attached.close()
+
+    def test_attach_after_unlink_raises(self, grid):
+        arena = TableArena.build(grid)
+        spec = arena.spec
+        arena.unlink()
+        with pytest.raises(ArenaError):
+            attach_arena(spec)
+
+
+class TestArenaManager:
+    def test_refcounted_sharing_and_unlink_at_zero(self, grid):
+        manager = ArenaManager()
+        a1 = manager.acquire(grid)
+        a2 = manager.acquire(grid)
+        assert a1 is a2
+        assert manager.refcount(grid) == 2
+        assert len(manager) == 1
+        manager.release(grid)
+        assert manager.refcount(grid) == 1
+        spec = a1.spec
+        manager.release(grid)
+        assert manager.refcount(grid) == 0
+        assert len(manager) == 0
+        with pytest.raises(ArenaError):
+            attach_arena(spec)  # unlinked at refcount zero
+
+    def test_release_without_acquire_raises(self, grid):
+        with pytest.raises(ArenaError):
+            ArenaManager().release(grid)
+
+    def test_distinct_grids_distinct_arenas(self, grid):
+        manager = ArenaManager()
+        other = RZGrid(9, 9)
+        a1 = manager.acquire(grid)
+        a2 = manager.acquire(other)
+        assert a1 is not a2
+        assert len(manager) == 2
+        assert manager.resident_bytes == a1.nbytes + a2.nbytes
+        manager.shutdown()
+        assert len(manager) == 0
+
+    def test_shutdown_is_reentrant(self, grid):
+        manager = ArenaManager()
+        manager.acquire(grid)
+        manager.shutdown()
+        manager.shutdown()
+
+
+class TestCacheSeeding:
+    def test_seed_makes_get_return_shared_view(self, grid):
+        arena = TableArena.build(grid)
+        try:
+            cache = BoundaryTableCache()
+            cache.seed(arena.tables())
+            got = cache.get(grid)
+            assert not got.gpc.flags.writeable  # the shared view, not a rebuild
+            assert cache.counters.hits == 1
+            np.testing.assert_array_equal(
+                got.gpc, build_boundary_tables(grid).gpc
+            )
+        finally:
+            arena.unlink()
+
+    def test_seed_replaces_existing_entry(self, grid):
+        arena = TableArena.build(grid)
+        try:
+            cache = BoundaryTableCache()
+            cache.get(grid)  # private build first
+            cache.seed(arena.tables())
+            assert not cache.get(grid).gpc.flags.writeable
+        finally:
+            arena.unlink()

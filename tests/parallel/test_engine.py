@@ -1,0 +1,172 @@
+"""ParallelFitEngine: API parity, bit-identical merge, failure modes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchFitEngine, synthetic_slice_sequence
+from repro.efit.measurements import synthetic_shot_186610
+from repro.errors import FittingError, JobQuarantinedError
+from repro.obs import TraceHooks, TraceRecorder
+from repro.parallel import CRASH_RATE_ENV, ParallelFitEngine, SchedulerConfig
+
+
+@pytest.fixture(scope="module")
+def shot():
+    return synthetic_shot_186610(33)
+
+
+@pytest.fixture(scope="module")
+def slices(shot):
+    return synthetic_slice_sequence(shot, 6, seed=3)
+
+
+@pytest.fixture(scope="module")
+def serial_result(shot, slices):
+    engine = BatchFitEngine(shot.machine, shot.diagnostics, shot.grid, batch_size=2)
+    return engine.fit_many(slices)
+
+
+@pytest.fixture(autouse=True)
+def no_crash_env(monkeypatch):
+    monkeypatch.delenv(CRASH_RATE_ENV, raising=False)
+
+
+def _inline_engine(shot, *, workers, seed=0, **kwargs):
+    return ParallelFitEngine(
+        shot.machine,
+        shot.diagnostics,
+        shot.grid,
+        batch_size=2,
+        workers=workers,
+        config=SchedulerConfig(
+            workers=workers, transport="inline", inline_order_seed=seed
+        ),
+        **kwargs,
+    )
+
+
+def _assert_identical(serial, parallel):
+    assert len(serial.results) == len(parallel.results)
+    for a, b in zip(serial.results, parallel.results):
+        np.testing.assert_array_equal(a.psi, b.psi)
+        assert a.chi2 == b.chi2
+        assert a.iterations == b.iterations
+        assert a.converged == b.converged
+
+
+class TestBitIdenticalMerge:
+    def test_real_processes_match_serial(self, shot, slices, serial_result):
+        with ParallelFitEngine(
+            shot.machine, shot.diagnostics, shot.grid, batch_size=2, workers=2
+        ) as engine:
+            parallel = engine.fit_many(slices)
+        _assert_identical(serial_result, parallel)
+        assert parallel.stats.n_slices == 6
+        assert parallel.stats.n_converged == 6
+        assert parallel.stats.total_iterations == serial_result.stats.total_iterations
+
+    def test_inline_matches_serial(self, shot, slices, serial_result):
+        with _inline_engine(shot, workers=3, seed=11) as engine:
+            parallel = engine.fit_many(slices)
+        _assert_identical(serial_result, parallel)
+
+
+class TestEngineApi:
+    def test_bad_batch_size(self, shot):
+        with pytest.raises(FittingError):
+            ParallelFitEngine(
+                shot.machine, shot.diagnostics, shot.grid, batch_size=0
+            )
+
+    def test_conflicting_worker_counts(self, shot):
+        with pytest.raises(FittingError):
+            ParallelFitEngine(
+                shot.machine,
+                shot.diagnostics,
+                shot.grid,
+                workers=4,
+                config=SchedulerConfig(workers=3, transport="inline"),
+            )
+
+    def test_empty_slices(self, shot):
+        with _inline_engine(shot, workers=1) as engine:
+            with pytest.raises(FittingError):
+                engine.fit_many([])
+
+    def test_engines_share_one_arena(self, shot):
+        e1 = _inline_engine(shot, workers=1)
+        e2 = _inline_engine(shot, workers=1)
+        try:
+            assert e1.arena is e2.arena
+            assert e1._manager.refcount(shot.grid) >= 2
+        finally:
+            e1.close()
+            e2.close()
+
+    def test_close_is_idempotent(self, shot):
+        engine = _inline_engine(shot, workers=1)
+        engine.close()
+        engine.close()
+
+
+class TestFailureModes:
+    def test_quarantine_raises_by_default(self, shot, slices, monkeypatch):
+        monkeypatch.setenv(CRASH_RATE_ENV, "1.0")
+        with _inline_engine(shot, workers=2) as engine:
+            with pytest.raises(JobQuarantinedError) as excinfo:
+                engine.fit_many(slices)
+        assert len(excinfo.value.failures) == 3  # one per job group
+        assert all(f.reason == "crash" for f in excinfo.value.failures)
+
+    def test_allow_failures_returns_survivors(self, shot, slices, monkeypatch):
+        # Seeded so some jobs crash past the retry budget and some survive.
+        monkeypatch.setenv(CRASH_RATE_ENV, "0.6")
+        monkeypatch.setenv("REPRO_PARALLEL_CRASH_SEED", "1")
+        with ParallelFitEngine(
+            shot.machine,
+            shot.diagnostics,
+            shot.grid,
+            batch_size=2,
+            workers=2,
+            config=SchedulerConfig(
+                workers=2,
+                transport="inline",
+                max_retries=0,
+                backoff_seconds=0.0,
+            ),
+        ) as engine:
+            result = engine.fit_many(slices, allow_failures=True)
+        assert result.failures  # some quarantined ...
+        assert result.results  # ... some survived
+        assert len(result.results) == 6 - 2 * len(result.failures)
+
+
+class TestMergedObservability:
+    def test_trace_and_metrics(self, shot, slices):
+        recorder = TraceRecorder()
+        with ParallelFitEngine(
+            shot.machine,
+            shot.diagnostics,
+            shot.grid,
+            batch_size=2,
+            workers=2,
+            hooks=TraceHooks(recorder),
+        ) as engine:
+            result = engine.fit_many(slices)
+            trace = engine.merged_trace()
+            metrics = engine.merged_metrics()
+        assert sum(r.jobs_done for r in result.worker_reports) == 3
+        pids = {e["pid"] for e in trace["traceEvents"]}
+        assert 0 in pids and len(pids) == 3
+        # Worker lanes carry the engine's own instrumentation (pflux_
+        # batch regions) nested under the scheduler's job spans.
+        span_names = {
+            e["name"] for e in trace["traceEvents"] if e["ph"] == "X" and e["pid"] > 0
+        }
+        assert "job" in span_names and "pflux_" in span_names
+        assert metrics["metrics"]["jobs_completed"] == 3.0
+        assert metrics["metrics"]["job_seconds"]["count"] == 3
+        assert metrics["parent"]["scheduler.completed"] == 3.0
+        assert metrics["parent"]["scheduler.quarantined"] == 0.0
