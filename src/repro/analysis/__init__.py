@@ -17,8 +17,16 @@ only asserted at runtime.  This package proves all of these properties
   :class:`~repro.directives.registry.AnnotatedKernel`;
 * :mod:`repro.analysis.hotpath` — AST checkers over the marked Python
   hot paths;
-* :mod:`repro.analysis.engine` — orchestration, certification and the
-  report consumed by ``repro analyze``.
+* :mod:`repro.analysis.dataflow` — the shared set-lattice abstract
+  interpreter the two flow-sensitive families build on;
+* :mod:`repro.analysis.precision` — dtype-lattice rules (mixed GEMM,
+  silent upcasts, unsafe fp32 accumulation, nondeterministic reductions)
+  over the kernel IR and the hot-path AST;
+* :mod:`repro.analysis.lifecycle` — protocol rules over the parallel
+  layer (use-after-unlink, attach-before-seed, fork-unsafe captures);
+* :mod:`repro.analysis.sarif` — SARIF 2.1.0 export for CI forges;
+* :mod:`repro.analysis.engine` — orchestration, family selection,
+  certification and the report consumed by ``repro analyze``.
 
 Only the dependency-light pieces are imported eagerly; the engine (which
 pulls in the machine models) is imported on use::

@@ -50,6 +50,21 @@ class Baseline:
         """Whether ``finding`` is baselined (accepted)."""
         return finding in self
 
+    # -- staleness -----------------------------------------------------------------
+    def stale_entries(self, findings) -> dict[str, str]:
+        """Suppressions that matched no finding in ``findings``
+        (fingerprint -> recorded reason).  A stale entry means the smell
+        it accepted is gone — dead weight that would silently re-accept
+        the finding if it ever came back for a different reason."""
+        live = {f.fingerprint for f in findings}
+        return {fp: r for fp, r in self.suppressions.items() if fp not in live}
+
+    def pruned(self, findings) -> "Baseline":
+        """A copy with stale entries removed (reasons preserved for the
+        suppressions that still match)."""
+        live = {f.fingerprint for f in findings}
+        return Baseline({fp: r for fp, r in self.suppressions.items() if fp in live})
+
     # -- persistence ---------------------------------------------------------------
     @classmethod
     def load(cls, path: str | Path) -> "Baseline":
@@ -86,6 +101,20 @@ class Baseline:
         Path(path).write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
 
     @classmethod
-    def from_findings(cls, findings, reason: str = "accepted at baseline creation") -> "Baseline":
-        """Build a baseline accepting every finding in ``findings``."""
-        return cls({f.fingerprint: reason for f in findings})
+    def from_findings(
+        cls,
+        findings,
+        reason: str = "accepted at baseline creation",
+        *,
+        previous: "Baseline | None" = None,
+    ) -> "Baseline":
+        """Build a baseline accepting every finding in ``findings``.
+
+        ``previous`` carries hand-written reasons forward for
+        fingerprints that are still live; entries of ``previous`` that
+        match nothing are pruned (``--write-baseline`` regeneration
+        keeps the curated text, drops the dead weight)."""
+        old = previous.suppressions if previous is not None else {}
+        return cls(
+            {f.fingerprint: old.get(f.fingerprint, reason) for f in findings}
+        )

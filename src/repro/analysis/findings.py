@@ -30,6 +30,34 @@ rule id                paper motivation
 ``workspace-alias``    one :class:`~repro.batch.workspace.FitWorkspace`
                        buffer name requested for two logical buffers
 =====================  ======================================================
+
+The precision-flow and concurrency-lifecycle families (same table
+convention; prefixes ``precision-``, ``lifecycle-``):
+
+==============================  =============================================
+rule id                         motivation
+==============================  =============================================
+``precision-mixed-gemm``        fp32/fp64 operands feeding one GEMM or
+                                reduction (fp32 bandwidth, fp64 arithmetic)
+``precision-silent-upcast``     mixed-width arithmetic outside a declared
+                                reduction, or fp32 inputs writing fp64 output
+``precision-unsafe-accumulate`` fp32 folded into a fp32 accumulator with no
+                                fp64 refinement (the EXL-50U recipe's risk)
+``precision-nondet-reduction``  a lowering that combines reduction partials
+                                in completion order, breaking the fleet's
+                                bit-identical merge
+``lifecycle-use-after-unlink``  arena views produced after close/unlink, or
+                                release() with the table cache still seeded
+                                (the PR 4 segfault)
+``lifecycle-attach-before-seed``  worker engine built before the shared
+                                view is seeded (silent private O(N^3) rebuild)
+``lifecycle-missing-drop``      an arena handle that neither escapes nor is
+                                reliably torn down
+``fork-unsafe-capture``         lambda / nested function / live arena handle
+                                in worker-construction arguments
+``lifecycle-exit-before-flush``  ``os._exit`` reachable before queue
+                                ``close()`` + ``join_thread()``
+==============================  =============================================
 """
 
 from __future__ import annotations

@@ -1,0 +1,522 @@
+"""Precision-flow rules: dtype-lattice inference over kernels and hot paths.
+
+The ROADMAP's mixed-precision item (fp32 edge-flux/GEMM with fp64
+refinement, the EXL-50U real-time recipe) only pays off if narrowing is
+*deliberate*: a single fp64 operand silently promotes a whole fp32
+pipeline back to double, a fp32 accumulator silently loses the digits the
+refinement step was supposed to restore, and an atomics-based reduction
+silently breaks the parallel fleet's bit-identity merge.  This family
+makes each of those silent failure modes a :class:`Finding` before the
+kernel runs.
+
+Two inputs, one lattice.  Abstract values are frozensets of dtype names
+(``float32``/``float64``...; see :func:`promote` for the join), shared
+with the lifecycle family through :mod:`repro.analysis.dataflow`:
+
+* **Registry IR** — every :class:`~repro.directives.ir.ArrayRef` carries
+  a width (:attr:`~repro.directives.ir.ArrayRef.dtype_name`), reductions
+  carry an optional
+  :attr:`~repro.directives.ir.LoopNest.accumulator_bytes`, and each
+  lowered :class:`~repro.runtime.kernel.ExecutionPlan` declares whether
+  its reduction order is deterministic.
+* **Hot-path AST** — the ``@hot_path`` functions the allocation pass
+  already scans get a flow-sensitive dtype interpreter: dtypes enter
+  through ``dtype=`` keywords, ``.astype`` and ``np.float32(...)``
+  conversions, and propagate through assignments and arithmetic with
+  NumPy's promotion semantics.
+
+Rules (all documented in ``docs/ANALYSIS.md``):
+
+``precision-mixed-gemm``
+    A reduction kernel (IR) or a ``@``/``np.matmul``/``np.dot`` call
+    (AST) mixes float32 and float64 operands: BLAS dispatches the mixed
+    case to the fp64 path after converting the fp32 operand — all the
+    bandwidth of fp32 storage, none of the speed.
+``precision-silent-upcast``
+    Mixed-width operands outside a declared reduction: every iteration
+    pays a widening conversion nobody asked for (IR), or an arithmetic
+    expression in a hot function promotes a float32 value to float64
+    (AST).
+``precision-unsafe-accumulate``
+    float32 values folded into a float32 accumulator: O(n) rounding
+    error growth with no fp64 refinement path.  Fires on IR reduction
+    kernels whose operands are all fp32 without ``accumulator_bytes=8``,
+    and on ``acc += x`` in a hot loop / ``np.sum(x)`` without ``dtype=``
+    where both sides infer to float32.
+``precision-nondet-reduction``
+    A lowering combined this kernel's reduction partials in completion
+    order (``deterministic_reduction=False``): run-to-run sums differ in
+    the last bits, which breaks the fleet's bit-identical merge
+    guarantee.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.dataflow import (
+    BOTTOM,
+    AbstractInterpreter,
+    dotted_name,
+)
+from repro.analysis.findings import Finding, Location, Severity
+from repro.analysis.hotpath import NUMPY_ALLOCATORS, _is_hot_decorator
+from repro.directives.ir import AccessMode
+from repro.directives.registry import KernelRegistry
+from repro.errors import AnalysisError
+
+__all__ = [
+    "RULE_MIXED_GEMM",
+    "RULE_SILENT_UPCAST",
+    "RULE_UNSAFE_ACCUMULATE",
+    "RULE_NONDET_REDUCTION",
+    "F32",
+    "F64",
+    "promote",
+    "check_registry_precision",
+    "scan_precision_source",
+    "scan_precision_paths",
+]
+
+RULE_MIXED_GEMM = "precision-mixed-gemm"
+RULE_SILENT_UPCAST = "precision-silent-upcast"
+RULE_UNSAFE_ACCUMULATE = "precision-unsafe-accumulate"
+RULE_NONDET_REDUCTION = "precision-nondet-reduction"
+
+F16 = "float16"
+F32 = "float32"
+F64 = "float64"
+
+#: Width order of the promotion lattice (NumPy ``result_type`` on floats).
+_WIDTH = {F16: 2, F32: 4, F64: 8}
+
+#: NumPy namespace aliases (shared convention with the hot-path pass).
+_NUMPY_NAMES = {"np", "numpy"}
+
+#: Allocators whose default dtype is float64 when no ``dtype=`` is given.
+_F64_DEFAULT_ALLOCATORS = frozenset(
+    {"zeros", "empty", "ones", "full", "eye", "identity", "linspace", "arange"}
+)
+
+#: ``x_like`` constructors inherit the dtype of their first argument.
+_LIKE_ALLOCATORS = frozenset({"zeros_like", "empty_like", "ones_like", "full_like"})
+
+#: Dtype-preserving NumPy calls: result dtype = promotion of the args.
+_DTYPE_PRESERVING = frozenset(
+    {"matmul", "dot", "add", "subtract", "multiply", "maximum", "minimum",
+     "abs", "absolute", "negative", "sqrt", "ascontiguousarray", "asarray"}
+)
+
+#: Calls that reduce their first argument (accumulator dtype matters).
+_REDUCERS = frozenset({"sum", "dot", "einsum", "cumsum", "nansum"})
+
+
+def promote(a: frozenset[str], b: frozenset[str]) -> frozenset[str]:
+    """NumPy ``result_type`` lifted to may-sets of dtype names.
+
+    The empty set is *neutral*, not absorbing: ``f32_array * 2.0`` stays
+    float32 under NumPy's value-based scalar rules, so an operand with no
+    dtype information (a Python scalar, an untracked name) leaves the
+    known side unchanged rather than poisoning it.
+    """
+    if not a:
+        return b
+    if not b:
+        return a
+    return frozenset(
+        x if _WIDTH.get(x, 8) >= _WIDTH.get(y, 8) else y for x in a for y in b
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry IR rules
+# ---------------------------------------------------------------------------
+def check_registry_precision(registry: KernelRegistry, *, sites=()) -> list[Finding]:
+    """Precision rules over one kernel registry.
+
+    ``sites`` (optional machine models) enables the
+    ``precision-nondet-reduction`` check, which needs each site's
+    compiler lowering to know the reduction order it produces.
+    """
+    findings: list[Finding] = []
+    for kernel in registry:
+        nest = kernel.nest
+        loc = Location(subroutine=registry.subroutine, kernel=kernel.name)
+        reads = [a for a in nest.arrays if a.mode is not AccessMode.WRITE]
+        writes = [a for a in nest.arrays if a.mode is not AccessMode.READ]
+        read_dtypes = {a.dtype_name for a in reads}
+        mixed = F32 in read_dtypes and F64 in read_dtypes
+        f32_reads = sorted(a.name for a in reads if a.dtype_name == F32)
+        f64_reads = sorted(a.name for a in reads if a.dtype_name == F64)
+        if nest.reductions:
+            if mixed:
+                findings.append(
+                    Finding(
+                        rule_id=RULE_MIXED_GEMM,
+                        severity=Severity.ERROR,
+                        location=loc,
+                        message=(
+                            f"reduction kernel mixes float32 operands "
+                            f"({', '.join(f32_reads)}) with float64 operands "
+                            f"({', '.join(f64_reads)}): BLAS/device GEMM converts "
+                            f"the narrow side up-front, paying fp32 bandwidth with "
+                            f"fp64 arithmetic"
+                        ),
+                        fix_hint=(
+                            "store both operands at one width; for the "
+                            "fp32-with-fp64-refinement pattern keep operands fp32 "
+                            "and declare accumulator_bytes=8 on the nest"
+                        ),
+                        detail="reads:" + ",".join(f32_reads + f64_reads),
+                    )
+                )
+            elif read_dtypes == {F32}:
+                acc_bytes = nest.accumulator_bytes
+                if acc_bytes is None or acc_bytes <= 4:
+                    findings.append(
+                        Finding(
+                            rule_id=RULE_UNSAFE_ACCUMULATE,
+                            severity=Severity.WARNING,
+                            location=loc,
+                            message=(
+                                f"float32 operands are folded into float32 "
+                                f"accumulators ({', '.join(nest.reductions)}) over "
+                                f"{nest.total_iterations} iterations: rounding error "
+                                f"grows O(n) with no fp64 refinement path"
+                            ),
+                            fix_hint=(
+                                "declare accumulator_bytes=8 (accumulate in fp64, "
+                                "store fp32) or add a compensated-summation pass"
+                            ),
+                            detail="acc:" + ",".join(nest.reductions),
+                        )
+                    )
+            for site in sites:
+                for model in site.models:
+                    plan = site.compiler.lower(kernel, model, site.gpu)
+                    if plan.deterministic_reduction:
+                        continue
+                    findings.append(
+                        Finding(
+                            rule_id=RULE_NONDET_REDUCTION,
+                            severity=Severity.ERROR,
+                            location=loc,
+                            message=(
+                                f"{model} lowering by {site.compiler.name} on "
+                                f"{site.name} combines reduction partials "
+                                f"({', '.join(nest.reductions)}) in completion order: "
+                                f"run-to-run sums differ in the last bits, breaking "
+                                f"the fleet's bit-identical merge guarantee"
+                            ),
+                            fix_hint=(
+                                "force a tree/serialised reduction lowering (or "
+                                "accept and document value drift for this site)"
+                            ),
+                            detail=f"{model}@{site.name}",
+                            data={"reductions": list(nest.reductions)},
+                        )
+                    )
+        else:
+            write_f64 = sorted(a.name for a in writes if a.dtype_name == F64)
+            if mixed:
+                findings.append(
+                    Finding(
+                        rule_id=RULE_SILENT_UPCAST,
+                        severity=Severity.WARNING,
+                        location=loc,
+                        message=(
+                            f"nest mixes float32 ({', '.join(f32_reads)}) and "
+                            f"float64 ({', '.join(f64_reads)}) operands outside a "
+                            f"declared reduction: every iteration pays a silent "
+                            f"widening conversion"
+                        ),
+                        fix_hint="store the operands at one width",
+                        detail="reads:" + ",".join(f32_reads + f64_reads),
+                    )
+                )
+            elif read_dtypes == {F32} and write_f64:
+                findings.append(
+                    Finding(
+                        rule_id=RULE_SILENT_UPCAST,
+                        severity=Severity.WARNING,
+                        location=loc,
+                        message=(
+                            f"all operands are float32 but the nest writes float64 "
+                            f"arrays ({', '.join(write_f64)}): the output width "
+                            f"promises precision the inputs never had"
+                        ),
+                        fix_hint=(
+                            f"narrow {', '.join(write_f64)} to float32 (or widen "
+                            f"the inputs if the extra digits are real)"
+                        ),
+                        detail="writes:" + ",".join(write_f64),
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Hot-path AST rules
+# ---------------------------------------------------------------------------
+def _numpy_attr(node: ast.expr) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in _NUMPY_NAMES
+    ):
+        return node.attr
+    return None
+
+
+def _dtype_token(node: ast.expr | None) -> frozenset[str]:
+    """Abstract value of a ``dtype=`` argument / conversion target."""
+    if node is None:
+        return BOTTOM
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return frozenset({node.value}) if node.value in _WIDTH else BOTTOM
+    name = _numpy_attr(node)
+    if name is None and isinstance(node, ast.Name):
+        name = node.id
+    if name in _WIDTH:
+        return frozenset({name})
+    if name == "float":  # builtin float and np.float64 are both 8 bytes
+        return frozenset({F64})
+    return BOTTOM
+
+
+def _ident(node: ast.expr) -> str:
+    """Short stable token naming an operand (for fingerprints)."""
+    dotted = dotted_name(node)
+    if dotted is not None:
+        return dotted
+    if isinstance(node, ast.Call):
+        inner = dotted_name(node.func)
+        return f"{inner}()" if inner is not None else "call()"
+    if isinstance(node, ast.Subscript):
+        return _ident(node.value) + "[]"
+    return type(node).__name__.lower()
+
+
+class _DtypeInterpreter(AbstractInterpreter):
+    """Per-function dtype inference + the three AST precision rules."""
+
+    def __init__(self, module: str, qualname: str) -> None:
+        super().__init__()
+        self.module = module
+        self.qualname = qualname
+        self.findings: list[Finding] = []
+
+    def _loc(self, node: ast.AST) -> Location:
+        return Location(module=self.module, qualname=self.qualname, line=node.lineno)
+
+    def _emit(
+        self,
+        rule: str,
+        severity: Severity,
+        node: ast.AST,
+        message: str,
+        fix: str,
+        detail: str,
+    ) -> None:
+        self.findings.append(
+            Finding(
+                rule_id=rule,
+                severity=severity,
+                location=self._loc(node),
+                message=message,
+                fix_hint=fix,
+                detail=detail,
+            )
+        )
+
+    # -- inference ----------------------------------------------------------------
+    def infer(self, node: ast.expr) -> frozenset[str]:
+        """Abstract dtype of an expression under the current environment."""
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            dotted = dotted_name(node)
+            return self.env.get(dotted, BOTTOM) if dotted is not None else BOTTOM
+        if isinstance(node, ast.Subscript):
+            return self.infer(node.value)
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand)
+        if isinstance(node, ast.BinOp):
+            return promote(self.infer(node.left), self.infer(node.right))
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        # Constants (Python scalars) carry no array dtype: neutral.
+        return BOTTOM
+
+    def _infer_call(self, node: ast.Call) -> frozenset[str]:
+        kwargs = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+        np_attr = _numpy_attr(node.func)
+        if np_attr is not None:
+            if np_attr in _WIDTH:  # np.float32(x) conversion
+                return frozenset({np_attr})
+            explicit = _dtype_token(kwargs.get("dtype"))
+            if explicit:
+                return explicit
+            if np_attr in _F64_DEFAULT_ALLOCATORS:
+                return frozenset({F64})
+            if np_attr in _LIKE_ALLOCATORS and node.args:
+                return self.infer(node.args[0])
+            if np_attr in _DTYPE_PRESERVING or np_attr in _REDUCERS:
+                out = BOTTOM
+                for arg in node.args:
+                    out = promote(out, self.infer(arg))
+                return out
+            if np_attr in NUMPY_ALLOCATORS:
+                return BOTTOM  # np.array([...]) etc: data-dependent
+            return BOTTOM
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr == "astype" and node.args:
+                return _dtype_token(node.args[0])
+            if node.func.attr in ("copy", "sum", "ravel", "reshape", "transpose"):
+                return self.infer(node.func.value)
+        return BOTTOM
+
+    # -- rules ---------------------------------------------------------------------
+    def _check_mixed(self, node: ast.AST, left: ast.expr, right: ast.expr, op: str) -> None:
+        lt, rt = self.infer(left), self.infer(right)
+        if not (len(lt) == 1 and len(rt) == 1 and lt != rt):
+            return
+        gemm = op in ("@", "np.matmul", "np.dot")
+        l_id, r_id = _ident(left), _ident(right)
+        if gemm:
+            self._emit(
+                RULE_MIXED_GEMM,
+                Severity.ERROR,
+                node,
+                f"{op} mixes a {next(iter(lt))} operand ({l_id}) with a "
+                f"{next(iter(rt))} operand ({r_id}): the GEMM runs at the wide "
+                f"width after converting the narrow side on every call",
+                "convert one operand once, outside the hot path, so both sides "
+                "enter the GEMM at the same width",
+                f"{op}:{l_id}|{r_id}",
+            )
+        else:
+            self._emit(
+                RULE_SILENT_UPCAST,
+                Severity.WARNING,
+                node,
+                f"'{op}' between {next(iter(lt))} ({l_id}) and "
+                f"{next(iter(rt))} ({r_id}) silently promotes the result to "
+                f"{next(iter(promote(lt, rt)))} inside a hot function",
+                "make the promotion explicit with .astype (or keep both "
+                "operands at one width)",
+                f"{op}:{l_id}|{r_id}",
+            )
+
+    def on_binop(self, node: ast.BinOp) -> None:
+        op = "@" if isinstance(node.op, ast.MatMult) else type(node.op).__name__
+        self._check_mixed(node, node.left, node.right, op)
+
+    def on_call(self, node: ast.Call) -> None:
+        np_attr = _numpy_attr(node.func)
+        if np_attr in ("matmul", "dot") and len(node.args) >= 2:
+            self._check_mixed(node, node.args[0], node.args[1], f"np.{np_attr}")
+        elif np_attr in ("sum", "nansum", "cumsum") and node.args:
+            kwargs = {kw.arg for kw in node.keywords if kw.arg}
+            if "dtype" not in kwargs and self.infer(node.args[0]) == frozenset({F32}):
+                arg_id = _ident(node.args[0])
+                self._emit(
+                    RULE_UNSAFE_ACCUMULATE,
+                    Severity.WARNING,
+                    node,
+                    f"np.{np_attr}({arg_id}) accumulates float32 values in a "
+                    f"float32 accumulator: rounding error grows O(n) with no "
+                    f"fp64 refinement path",
+                    f"pass dtype=np.float64 to np.{np_attr} (fp64 accumulate, "
+                    f"fp32 storage)",
+                    f"np.{np_attr}:{arg_id}",
+                )
+
+    def on_augassign(self, target: str, node: ast.AugAssign) -> None:
+        acc = self.env.get(target, BOTTOM)
+        value = self.infer(node.value)
+        if (
+            self.loop_depth > 0
+            and isinstance(node.op, (ast.Add, ast.Sub))
+            and acc == frozenset({F32})
+            and value == frozenset({F32})
+        ):
+            self._emit(
+                RULE_UNSAFE_ACCUMULATE,
+                Severity.WARNING,
+                node,
+                f"'{target}' accumulates float32 values into a float32 "
+                f"accumulator inside a loop: rounding error grows with the "
+                f"trip count and no fp64 refinement path exists",
+                f"accumulate into a float64 temporary and narrow '{target}' "
+                f"once after the loop",
+                f"aug:{target}",
+            )
+        self.env[target] = promote(acc, value)
+
+    def on_assign(self, target: str, value: ast.expr, node: ast.stmt) -> None:
+        inferred = self.infer(value)
+        if inferred:
+            self.env[target] = inferred
+        else:
+            self.env.pop(target, None)  # unknown overwrite kills stale facts
+
+
+class _PrecisionModuleScanner(ast.NodeVisitor):
+    """Finds ``@hot_path`` functions and runs the dtype interpreter."""
+
+    def __init__(self, module: str) -> None:
+        self.module = module
+        self.findings: list[Finding] = []
+        self._class_stack: list[str] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:  # noqa: N802
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _handle_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        if any(_is_hot_decorator(d) for d in node.decorator_list):
+            qualname = ".".join((*self._class_stack, node.name))
+            interp = _DtypeInterpreter(self.module, qualname)
+            interp.run(node.body)
+            self.findings.extend(interp.findings)
+        else:
+            self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:  # noqa: N802
+        self._handle_function(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+def scan_precision_source(source: str, module: str) -> list[Finding]:
+    """Precision rules over one module's source text."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise AnalysisError(f"cannot parse {module}: {exc}") from None
+    scanner = _PrecisionModuleScanner(module)
+    scanner.visit(tree)
+    return scanner.findings
+
+
+def scan_precision_paths(paths, *, package_root: Path | None = None) -> list[Finding]:
+    """Precision rules over ``.py`` files or directories of them."""
+    if package_root is None:
+        import repro
+
+        package_root = Path(repro.__file__).parent
+    findings: list[Finding] = []
+    for p in paths:
+        p = Path(p)
+        files = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for f in files:
+            if not f.exists():
+                raise AnalysisError(f"cannot scan missing file {f}")
+            module = (
+                ".".join(("repro", *f.relative_to(package_root).with_suffix("").parts))
+                if f.is_relative_to(package_root)
+                else str(f)
+            )
+            findings.extend(scan_precision_source(f.read_text(), module))
+    return findings

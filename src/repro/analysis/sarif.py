@@ -1,0 +1,135 @@
+"""SARIF 2.1.0 export of an :class:`~repro.analysis.engine.AnalysisReport`.
+
+SARIF (Static Analysis Results Interchange Format, OASIS 2.1.0) is what
+CI forges ingest to annotate pull requests with linter findings.  The
+emitted log has one run, one tool (``repro-analyze``), one rule entry
+per distinct rule id, and one result per finding — including the
+baselined ones, which carry a ``suppressions`` entry so the forge shows
+them greyed out instead of hiding them.
+
+Mapping notes:
+
+* ``Location.module`` (``repro.analysis.engine``) becomes the artifact
+  URI ``src/repro/analysis/engine.py`` — repo-relative, which is what
+  PR annotation needs.  Registry findings (``subroutine::kernel``) have
+  no physical file; they carry only a ``logicalLocations`` entry.
+* ``partialFingerprints`` carries the finding's stable
+  :attr:`~repro.analysis.findings.Finding.fingerprint`, so a forge's
+  "new since last run" comparison matches the baseline semantics.
+* Severities map ``ERROR -> error``, ``WARNING -> warning``,
+  ``INFO -> note``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding, Severity
+from repro.utils.jsonio import dump_json
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "sarif_payload", "write_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVEL = {Severity.ERROR: "error", Severity.WARNING: "warning", Severity.INFO: "note"}
+
+#: One-line rule descriptions for the SARIF rules table (kept short; the
+#: full prose lives in ``docs/ANALYSIS.md``).
+_RULE_DESCRIPTIONS = {
+    "directive-race": "Shared writes under parallel mappings without protection",
+    "excess-traffic": "Modeled HBM movement exceeds the streaming-byte bound",
+    "implicit-transfer": "Array outside the enclosing data environment",
+    "missing-data-region": "No target data region on an explicit-memory site",
+    "async-no-wait": "async clause with no matching wait",
+    "hot-alloc": "Allocating NumPy constructor inside @hot_path",
+    "hot-copy": ".copy() inside @hot_path",
+    "hot-ufunc-temp": "Ufunc without out= inside @hot_path",
+    "workspace-alias": "Workspace buffer name requested twice",
+    "precision-silent-upcast": "Silent fp32->fp64 promotion",
+    "precision-mixed-gemm": "Mixed fp32/fp64 GEMM operands",
+    "precision-unsafe-accumulate": "fp32 accumulation without fp64 refinement",
+    "precision-nondet-reduction": "Order-dependent reduction breaks bit identity",
+    "lifecycle-use-after-unlink": "Arena view used after drop/unlink",
+    "lifecycle-attach-before-seed": "Engine built before the table cache is seeded",
+    "lifecycle-missing-drop": "Arena handle leaks on an exceptional path",
+    "fork-unsafe-capture": "Unpicklable or arena-handle capture in worker args",
+    "lifecycle-exit-before-flush": "os._exit before queue feeder flush",
+}
+
+
+def _artifact_uri(finding: Finding) -> str | None:
+    """Repo-relative source path of a module-located finding."""
+    module = finding.location.module
+    if not module or not module.startswith("repro"):
+        return None
+    return "src/" + module.replace(".", "/") + ".py"
+
+
+def _result(finding: Finding, *, suppressed: bool) -> dict:
+    loc: dict = {
+        "logicalLocations": [
+            {"fullyQualifiedName": finding.location.ident, "kind": "function"}
+        ]
+    }
+    uri = _artifact_uri(finding)
+    if uri is not None:
+        physical: dict = {"artifactLocation": {"uri": uri}}
+        if finding.location.line is not None:
+            physical["region"] = {"startLine": finding.location.line}
+        loc["physicalLocation"] = physical
+    message = finding.message
+    if finding.fix_hint:
+        message += f" Fix: {finding.fix_hint}"
+    result = {
+        "ruleId": finding.rule_id,
+        "level": _LEVEL[finding.severity],
+        "message": {"text": message},
+        "locations": [loc],
+        "partialFingerprints": {"reproFingerprint/v1": finding.fingerprint},
+    }
+    if suppressed:
+        result["suppressions"] = [{"kind": "external"}]
+    return result
+
+
+def sarif_payload(report) -> dict:
+    """The SARIF 2.1.0 log of one analysis run (kept + suppressed)."""
+    rule_ids = sorted(
+        {f.rule_id for f in (*report.findings, *report.suppressed)}
+    )
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": _RULE_DESCRIPTIONS.get(rule_id, rule_id)
+            },
+            "helpUri": "docs/ANALYSIS.md",
+        }
+        for rule_id in rule_ids
+    ]
+    results = [_result(f, suppressed=False) for f in report.findings]
+    results.extend(_result(f, suppressed=True) for f in report.suppressed)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(report, path) -> None:
+    """Write the SARIF log of ``report`` to ``path``."""
+    with open(path, "w") as fh:
+        dump_json(sarif_payload(report), fh)

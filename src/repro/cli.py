@@ -11,7 +11,9 @@ Commands
 ``sites``
     Describe the modeled machines.
 ``analyze``
-    Run the portability linter (directive rules + hot-path rules).
+    Run the portability linter — directive, hot-path, precision-flow
+    and concurrency-lifecycle rule families (``--family`` selects a
+    subset, ``--sarif`` exports CI annotations).
 ``trace``
     Run one traced workload and write a Chrome-trace JSON (plus an
     optional JSONL record stream).
@@ -91,6 +93,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the portability linter over the registered kernels and hot paths",
     )
     p_an.add_argument("--json", action="store_true", help="emit findings as JSON")
+    p_an.add_argument(
+        "--family",
+        action="append",
+        choices=["directives", "hotpath", "precision", "lifecycle"],
+        default=None,
+        metavar="NAME",
+        help="run only this rule family (repeatable; default: all four)",
+    )
+    p_an.add_argument(
+        "--sarif",
+        metavar="PATH",
+        default=None,
+        help="also write a SARIF 2.1.0 log here (CI annotation artifact)",
+    )
     p_an.add_argument(
         "--strict",
         action="store_true",
@@ -334,17 +350,32 @@ def _cmd_analyze(args) -> int:
     from pathlib import Path
 
     from repro.analysis import Baseline
-    from repro.analysis.engine import AnalysisConfig, analyze_repo
+    from repro.analysis.engine import ALL_FAMILIES, AnalysisConfig, analyze_repo
     from repro.errors import AnalysisError
 
-    config = AnalysisConfig(grid=args.grid, max_traffic_ratio=args.max_traffic_ratio)
+    families = tuple(dict.fromkeys(args.family)) if args.family else ALL_FAMILIES
+    config = AnalysisConfig(
+        grid=args.grid,
+        max_traffic_ratio=args.max_traffic_ratio,
+        families=families,
+    )
     report = analyze_repo(config)
 
     baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
     if args.write_baseline:
+        # Regeneration preserves curated reasons for surviving entries
+        # and prunes the stale ones.
+        previous = None
+        if baseline_path.exists():
+            try:
+                previous = Baseline.load(baseline_path)
+            except AnalysisError:
+                previous = None  # damaged file: regenerate from scratch
         try:
             Baseline.from_findings(
-                report.findings, reason="accepted at baseline creation"
+                report.findings,
+                reason="accepted at baseline creation",
+                previous=previous,
             ).save(baseline_path)
         except OSError as exc:
             print(f"error: cannot write baseline {baseline_path}: {exc}", file=sys.stderr)
@@ -357,6 +388,24 @@ def _cmd_analyze(args) -> int:
         except AnalysisError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        if report.complete:
+            for fp, reason in sorted(report.stale_suppressions.items()):
+                note = f" ({reason})" if reason else ""
+                print(
+                    f"warning: stale baseline suppression matches nothing: "
+                    f"{fp}{note} — regenerate with --write-baseline",
+                    file=sys.stderr,
+                )
+
+    if args.sarif:
+        from repro.analysis.sarif import write_sarif
+
+        try:
+            write_sarif(report, args.sarif)
+        except OSError as exc:
+            print(f"error: cannot write {args.sarif}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote SARIF log {args.sarif}", file=sys.stderr)
 
     if args.json:
         from repro.utils.jsonio import dump_json

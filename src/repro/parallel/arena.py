@@ -191,13 +191,29 @@ class TableArena:
     def nbytes(self) -> int:
         return sum(seg.nbytes for seg in self.spec.segments)
 
+    def _require_mapped(self) -> None:
+        """Refuse to hand out views over an unlinked mapping.
+
+        This is the runtime twin of the static
+        ``lifecycle-use-after-unlink`` rule: without it a stale view
+        reads unmapped pages and the failure is a segfault somewhere
+        else entirely (the PR 4 bug); with it the misuse is a clean
+        :class:`~repro.errors.ArenaError` at the offending call."""
+        if self._unlinked:
+            raise ArenaError(
+                f"arena {self.spec.shm_name!r} is unlinked: views over its "
+                f"pages are gone (use-after-unlink)"
+            )
+
     def tables(self) -> BoundaryGreensTables:
         """The parent's own read-only view (same pages the workers map)."""
+        self._require_mapped()
         return BoundaryGreensTables(
             grid=self.spec.grid(), gpc=_view(self._shm, self.spec.segment("gpc"))
         )
 
     def edge_operator(self) -> np.ndarray:
+        self._require_mapped()
         return _view(self._shm, self.spec.segment("edge_operator"))
 
     def unlink(self) -> None:
@@ -227,6 +243,7 @@ class AttachedArena:
 
     def __init__(self, spec: ArenaSpec) -> None:
         self.spec = spec
+        self._closed = False
         original_register = resource_tracker.register
         resource_tracker.register = lambda *args, **kwargs: None
         try:
@@ -238,15 +255,31 @@ class AttachedArena:
         finally:
             resource_tracker.register = original_register
 
+    def _require_open(self) -> None:
+        """Runtime twin of ``lifecycle-use-after-unlink`` on the worker
+        side: a view handed out after ``close()`` would dereference an
+        unmapped buffer."""
+        if self._closed:
+            raise ArenaError(
+                f"attached arena {self.spec.shm_name!r} is closed: views over "
+                f"its pages are gone (use-after-close)"
+            )
+
     def tables(self) -> BoundaryGreensTables:
+        self._require_open()
         return BoundaryGreensTables(
             grid=self.spec.grid(), gpc=_view(self._shm, self.spec.segment("gpc"))
         )
 
     def edge_operator(self) -> np.ndarray:
+        self._require_open()
         return _view(self._shm, self.spec.segment("edge_operator"))
 
     def close(self) -> None:
+        """Unmap the attachment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
         self._shm.close()
 
 

@@ -1,0 +1,142 @@
+"""Unit tests of the shared dataflow core (set lattice + interpreter)."""
+
+import ast
+
+from repro.analysis.dataflow import (
+    BOTTOM,
+    AbstractInterpreter,
+    dotted_name,
+    join,
+    join_env,
+)
+
+
+def _expr(src: str) -> ast.expr:
+    return ast.parse(src, mode="eval").body
+
+
+class TestLattice:
+    def test_join_is_union(self):
+        assert join(frozenset({"a"}), frozenset({"b"})) == frozenset({"a", "b"})
+        assert join(BOTTOM, frozenset({"a"})) == frozenset({"a"})
+
+    def test_join_env_missing_keys_are_bottom(self):
+        a = {"x": frozenset({"live"})}
+        b = {"y": frozenset({"closed"})}
+        merged = join_env(a, b)
+        assert merged == {"x": frozenset({"live"}), "y": frozenset({"closed"})}
+
+    def test_join_env_pointwise(self):
+        a = {"x": frozenset({"live"})}
+        b = {"x": frozenset({"closed"})}
+        assert join_env(a, b)["x"] == frozenset({"live", "closed"})
+
+
+class TestDottedName:
+    def test_name_and_attribute_chain(self):
+        assert dotted_name(_expr("result_q")) == "result_q"
+        assert dotted_name(_expr("self._manager.arena")) == "self._manager.arena"
+
+    def test_call_or_subscript_breaks_the_chain(self):
+        assert dotted_name(_expr("cache().entry")) is None
+        assert dotted_name(_expr("arenas[0].spec")) is None
+
+
+class _Recorder(AbstractInterpreter):
+    """Records hook invocations; assigns bind the literal token 'set'."""
+
+    def __init__(self):
+        super().__init__()
+        self.calls: list[str] = []
+        self.loop_depths: list[int] = []
+        self.finally_depths: list[int] = []
+        self.nested: list[str] = []
+
+    def on_assign(self, target, value, node):
+        self.env[target] = frozenset({"set"})
+
+    def on_call(self, node):
+        name = dotted_name(node.func) or "?"
+        self.calls.append(name)
+        self.loop_depths.append(self.loop_depth)
+        self.finally_depths.append(self.finally_depth)
+
+    def on_nested_def(self, node):
+        self.nested.append(node.name)
+
+
+def _run(src: str) -> _Recorder:
+    interp = _Recorder()
+    interp.run(ast.parse(src).body)
+    return interp
+
+
+class TestControlFlow:
+    def test_branches_join(self):
+        interp = _run("if c:\n    x = 1\nelse:\n    y = 2\n")
+        assert interp.env["x"] == frozenset({"set"})
+        assert interp.env["y"] == frozenset({"set"})
+
+    def test_loop_joins_zero_iteration_path(self):
+        """A binding inside the loop body is a may-fact, not a must-fact,
+        so facts established before the loop must survive the join."""
+
+        class Killer(_Recorder):
+            def on_assign(self, target, value, node):
+                self.env[target] = frozenset({"inner"})
+
+        interp = Killer()
+        interp.env["x"] = frozenset({"outer"})
+        interp.run(ast.parse("for i in it:\n    x = 1\n").body)
+        assert interp.env["x"] == frozenset({"outer", "inner"})
+
+    def test_loop_depth_seen_by_call_hook(self):
+        interp = _run("f()\nfor i in it:\n    g()\n")
+        assert interp.calls == ["f", "g"]
+        assert interp.loop_depths == [0, 1]
+
+    def test_try_handler_starts_from_mid_body_state(self):
+        """The handler may run with the body partially executed: its
+        entry env is the join of pre-state and normal exit."""
+
+        class Tracker(_Recorder):
+            def __init__(self):
+                super().__init__()
+                self.handler_env = None
+
+            def on_call(self, node):
+                super().on_call(node)
+                if (dotted_name(node.func) or "") == "handler":
+                    self.handler_env = dict(self.env)
+
+        interp = Tracker()
+        interp.env["x"] = frozenset({"pre"})
+        interp.run(
+            ast.parse(
+                "try:\n    x = 1\nexcept Exception:\n    handler()\n"
+            ).body
+        )
+        # inside the handler, x may be either the pre value or the body's
+        assert interp.handler_env["x"] == frozenset({"pre", "set"})
+
+    def test_finally_depth(self):
+        interp = _run(
+            "try:\n    f()\nfinally:\n    cleanup()\n"
+        )
+        assert dict(zip(interp.calls, interp.finally_depths)) == {
+            "f": 0,
+            "cleanup": 1,
+        }
+
+    def test_with_as_binds_target(self):
+        interp = _run("with open(p) as fh:\n    pass\n")
+        assert interp.env["fh"] == frozenset({"set"})
+
+    def test_delete_clears_fact(self):
+        interp = _run("x = 1\ndel x\n")
+        assert "x" not in interp.env
+
+    def test_nested_defs_are_reported_not_walked(self):
+        interp = _run("def inner():\n    poison()\ninner()\n")
+        assert interp.nested == ["inner"]
+        assert "poison" not in interp.calls  # body not charged to parent

@@ -1,0 +1,293 @@
+"""Tests of the precision-flow rules, IR and AST sides.
+
+The ``promote`` lattice is cross-checked against NumPy's own
+``result_type`` — the static rules must agree with what the arrays
+actually do at runtime.
+"""
+
+import itertools
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.analysis.engine import analyze_precision
+from repro.analysis.findings import Severity
+from repro.analysis.precision import (
+    F32,
+    F64,
+    RULE_MIXED_GEMM,
+    RULE_NONDET_REDUCTION,
+    RULE_SILENT_UPCAST,
+    RULE_UNSAFE_ACCUMULATE,
+    check_registry_precision,
+    promote,
+    scan_precision_source,
+)
+from repro.directives.ir import AccessMode, ArrayRef, Loop, LoopNest
+from repro.directives.registry import AnnotatedKernel, KernelRegistry
+
+
+def _nest(name, arrays, *, reductions=(), accumulator_bytes=None):
+    return LoopNest(
+        name,
+        (Loop("i", 8), Loop("j", 8)),
+        flops_per_iteration=2.0,
+        arrays=tuple(arrays),
+        reductions=tuple(reductions),
+        accumulator_bytes=accumulator_bytes,
+    )
+
+
+def _registry(*nests):
+    reg = KernelRegistry("mixed", 100)
+    for nest in nests:
+        reg.register(
+            AnnotatedKernel(nest=nest, acc_directives=(), omp_directives=())
+        )
+    return reg
+
+
+def _arr(name, *, bpe, mode=AccessMode.READ):
+    return ArrayRef(name, 64, mode, 1.0, bytes_per_element=bpe)
+
+
+class TestPromoteLattice:
+    def test_matches_numpy_result_type(self):
+        """Ground truth: singleton promotion is exactly np.result_type."""
+        floats = ("float16", "float32", "float64")
+        for a, b in itertools.product(floats, floats):
+            expected = np.result_type(np.dtype(a), np.dtype(b)).name
+            assert promote(frozenset({a}), frozenset({b})) == frozenset({expected})
+
+    def test_empty_is_neutral_like_a_python_scalar(self):
+        """f32_array * 2.0 stays float32 — no dtype info must not widen."""
+        assert promote(frozenset({F32}), frozenset()) == frozenset({F32})
+        assert (np.zeros(3, np.float32) * 2.0).dtype == np.float32
+
+    def test_may_sets_promote_pairwise(self):
+        got = promote(frozenset({F32, F64}), frozenset({F32}))
+        assert got == frozenset({F32, F64})
+
+
+class TestRegistryRules:
+    def test_mixed_gemm_reduction_kernel_is_flagged(self):
+        """The acceptance-criterion kernel: fp32/fp64 operands feeding a
+        reduction."""
+        nest = _nest(
+            "gemm_mixed",
+            [_arr("a32", bpe=4), _arr("b64", bpe=8),
+             _arr("c", bpe=8, mode=AccessMode.WRITE)],
+            reductions=("acc",),
+        )
+        findings = check_registry_precision(_registry(nest))
+        assert [f.rule_id for f in findings] == [RULE_MIXED_GEMM]
+        f = findings[0]
+        assert f.severity is Severity.ERROR
+        assert f.location.ident == "mixed::gemm_mixed"
+        assert f.fingerprint == "precision-mixed-gemm@mixed::gemm_mixed#reads:a32,b64"
+
+    def test_f32_accumulation_without_refinement_is_flagged(self):
+        nest = _nest(
+            "dot32",
+            [_arr("x", bpe=4), _arr("y", bpe=4)],
+            reductions=("tempsum1",),
+        )
+        findings = check_registry_precision(_registry(nest))
+        assert [f.rule_id for f in findings] == [RULE_UNSAFE_ACCUMULATE]
+        assert "tempsum1" in findings[0].message
+
+    def test_fp64_accumulator_declaration_satisfies_the_rule(self):
+        """The fp32-with-fp64-refinement pattern the ROADMAP wants."""
+        nest = _nest(
+            "dot32_refined",
+            [_arr("x", bpe=4), _arr("y", bpe=4)],
+            reductions=("tempsum1",),
+            accumulator_bytes=8,
+        )
+        assert check_registry_precision(_registry(nest)) == []
+
+    def test_mixed_streaming_nest_is_an_upcast_warning(self):
+        nest = _nest("axpy_mixed", [_arr("x", bpe=4), _arr("y", bpe=8)])
+        findings = check_registry_precision(_registry(nest))
+        assert [f.rule_id for f in findings] == [RULE_SILENT_UPCAST]
+        assert findings[0].severity is Severity.WARNING
+
+    def test_f32_inputs_f64_output_is_an_upcast_warning(self):
+        nest = _nest(
+            "widen_out",
+            [_arr("x", bpe=4),
+             _arr("out", bpe=8, mode=AccessMode.WRITE)],
+        )
+        findings = check_registry_precision(_registry(nest))
+        assert [f.rule_id for f in findings] == [RULE_SILENT_UPCAST]
+        assert "out" in findings[0].message
+
+    def test_uniform_f64_kernel_is_clean(self):
+        nest = _nest(
+            "all64",
+            [_arr("x", bpe=8), _arr("y", bpe=8)],
+            reductions=("s",),
+        )
+        assert check_registry_precision(_registry(nest)) == []
+
+    def test_nondet_lowering_is_flagged_per_site_model(self):
+        nest = _nest(
+            "sum64", [_arr("x", bpe=8)], reductions=("s",)
+        )
+        site = SimpleNamespace(
+            name="stubsite",
+            models=("openmp",),
+            gpu=None,
+            compiler=SimpleNamespace(
+                name="stubcc",
+                lower=lambda kernel, model, gpu: SimpleNamespace(
+                    deterministic_reduction=False
+                ),
+            ),
+        )
+        findings = check_registry_precision(_registry(nest), sites=(site,))
+        assert [f.rule_id for f in findings] == [RULE_NONDET_REDUCTION]
+        assert findings[0].detail == "openmp@stubsite"
+        assert findings[0].severity is Severity.ERROR
+
+    def test_dtype_name_property(self):
+        assert _arr("x", bpe=4).dtype_name == "float32"
+        assert _arr("x", bpe=8).dtype_name == "float64"
+        assert _arr("x", bpe=2).dtype_name == "float16"
+
+
+def _scan(body: str) -> list:
+    """Scan one @hot_path function whose body is ``body``."""
+    lines = "\n".join("    " + ln for ln in body.strip("\n").splitlines())
+    src = (
+        "import numpy as np\n"
+        "from repro.analysis.hotpath import hot_path\n\n"
+        "@hot_path\n"
+        f"def f(x, y):\n{lines}\n"
+    )
+    return scan_precision_source(src, "fixture")
+
+
+class TestAstRules:
+    def test_mixed_matmul_is_flagged(self):
+        findings = _scan(
+            """
+a = np.zeros((4, 4), dtype=np.float32)
+b = np.zeros((4, 4), dtype=np.float64)
+return a @ b
+"""
+        )
+        assert [f.rule_id for f in findings] == [RULE_MIXED_GEMM]
+        assert findings[0].detail == "@:a|b"
+
+    def test_mixed_np_dot_is_flagged(self):
+        findings = _scan(
+            """
+a = np.zeros(4, dtype=np.float32)
+b = np.zeros(4)
+return np.dot(a, b)
+"""
+        )
+        assert [f.rule_id for f in findings] == [RULE_MIXED_GEMM]
+
+    def test_astype_conversion_clears_the_mix(self):
+        findings = _scan(
+            """
+a = np.zeros((4, 4), dtype=np.float32)
+b = np.zeros((4, 4), dtype=np.float64)
+a64 = a.astype(np.float64)
+return a64 @ b
+"""
+        )
+        assert findings == []
+
+    def test_mixed_multiply_is_an_upcast_warning(self):
+        findings = _scan(
+            """
+a = np.zeros(4, dtype=np.float32)
+b = np.ones(4)
+return a * b
+"""
+        )
+        assert [f.rule_id for f in findings] == [RULE_SILENT_UPCAST]
+        assert findings[0].severity is Severity.WARNING
+
+    def test_scalar_operand_is_not_a_mix(self):
+        findings = _scan(
+            """
+a = np.zeros(4, dtype=np.float32)
+return a * 2.0
+"""
+        )
+        assert findings == []
+
+    def test_f32_loop_accumulation_is_flagged(self):
+        findings = _scan(
+            """
+s = np.float32(0.0)
+for v in x:
+    s += np.float32(v)
+return s
+"""
+        )
+        assert [f.rule_id for f in findings] == [RULE_UNSAFE_ACCUMULATE]
+        assert findings[0].detail == "aug:s"
+
+    def test_accumulation_outside_a_loop_is_fine(self):
+        findings = _scan(
+            """
+s = np.float32(0.0)
+s += np.float32(1.0)
+return s
+"""
+        )
+        assert findings == []
+
+    def test_np_sum_of_f32_without_dtype_is_flagged(self):
+        findings = _scan(
+            """
+a = np.zeros(4, dtype=np.float32)
+return np.sum(a)
+"""
+        )
+        assert [f.rule_id for f in findings] == [RULE_UNSAFE_ACCUMULATE]
+        assert findings[0].detail == "np.sum:a"
+
+    def test_np_sum_with_f64_accumulator_is_fine(self):
+        findings = _scan(
+            """
+a = np.zeros(4, dtype=np.float32)
+return np.sum(a, dtype=np.float64)
+"""
+        )
+        assert findings == []
+
+    def test_branchy_dtype_stays_a_may_set_and_is_not_flagged(self):
+        """Flow sensitivity: a name that may be either width on different
+        paths is ambiguous, not a definite mix — no finding."""
+        findings = _scan(
+            """
+if y:
+    a = np.zeros(4, dtype=np.float32)
+else:
+    a = np.zeros(4)
+b = np.zeros(4)
+return a @ b
+"""
+        )
+        assert findings == []
+
+    def test_functions_without_hot_path_are_ignored(self):
+        src = (
+            "import numpy as np\n"
+            "def cold(x):\n"
+            "    a = np.zeros(4, dtype=np.float32)\n"
+            "    return a @ np.zeros(4)\n"
+        )
+        assert scan_precision_source(src, "fixture") == []
+
+
+class TestCleanTree:
+    def test_repo_precision_pass_is_clean(self):
+        """Acceptance criterion: zero precision findings on the tree."""
+        assert analyze_precision() == []

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+
 import numpy as np
 import pytest
 
@@ -145,3 +148,87 @@ class TestCacheSeeding:
             assert not cache.get(grid).gpc.flags.writeable
         finally:
             arena.unlink()
+
+    def test_double_drop_is_a_no_op(self, grid):
+        """Teardown paths may race close() against each other; dropping
+        an entry that is already gone must stay silent."""
+        arena = TableArena.build(grid)
+        try:
+            cache = BoundaryTableCache()
+            cache.seed(arena.tables())
+            cache.drop(grid)
+            cache.drop(grid)
+            # the next get rebuilds privately, off the dropped view
+            assert cache.get(grid).gpc.flags.writeable
+        finally:
+            arena.unlink()
+
+
+def _crash_while_attached(spec):
+    """Worker that dies hard while still holding a live attachment —
+    no close(), no interpreter shutdown hooks."""
+    attached = attach_arena(spec)
+    attached.tables()
+    os._exit(3)
+
+
+class TestFailurePaths:
+    """Runtime ground truth of the static lifecycle rules: the misuse
+    each rule flags must fail as a clean ArenaError, not a segfault."""
+
+    def test_parent_view_after_unlink_raises(self, grid):
+        arena = TableArena.build(grid)
+        arena.unlink()
+        with pytest.raises(ArenaError, match="use-after-unlink"):
+            arena.tables()
+        with pytest.raises(ArenaError, match="use-after-unlink"):
+            arena.edge_operator()
+
+    def test_views_taken_before_unlink_still_error_after(self, grid):
+        """The static rule's exact shape: view production ordered after
+        teardown is refused (views taken before stay the caller's
+        responsibility — the mapping itself is gone)."""
+        arena = TableArena.build(grid)
+        arena.tables()  # fine while live
+        arena.unlink()
+        with pytest.raises(ArenaError):
+            arena.tables()
+
+    def test_worker_view_after_close_raises(self, grid):
+        arena = TableArena.build(grid)
+        try:
+            attached = attach_arena(arena.spec)
+            attached.close()
+            with pytest.raises(ArenaError, match="use-after-close"):
+                attached.tables()
+            with pytest.raises(ArenaError, match="use-after-close"):
+                attached.edge_operator()
+        finally:
+            arena.unlink()
+
+    def test_worker_close_is_idempotent(self, grid):
+        arena = TableArena.build(grid)
+        try:
+            attached = attach_arena(arena.spec)
+            attached.close()
+            attached.close()
+        finally:
+            arena.unlink()
+
+    def test_manager_sweep_with_crashed_worker_holding_attachment(self, grid):
+        """The atexit-sweep scenario: a worker dies hard (os._exit, no
+        close) while attached; the parent's shutdown sweep must still
+        unlink cleanly and leave nothing to attach to."""
+        manager = ArenaManager()
+        arena = manager.acquire(grid)
+        spec = arena.spec
+        proc = multiprocessing.get_context("fork").Process(
+            target=_crash_while_attached, args=(spec,)
+        )
+        proc.start()
+        proc.join(timeout=60)
+        assert proc.exitcode == 3  # crashed as injected, while attached
+        manager.shutdown()  # refcount still 1: the safety net overrides
+        assert len(manager) == 0
+        with pytest.raises(ArenaError):
+            attach_arena(spec)  # segment really is gone
