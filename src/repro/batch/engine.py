@@ -135,6 +135,21 @@ class BatchFitEngine:
         self._workspaces = [FitWorkspace() for _ in range(n_workers)]
         self._profilers = [RegionProfiler() for _ in range(n_workers)]
 
+    @classmethod
+    def for_scenario(cls, scenario, n: int = 65, *, shot=None, **kwargs) -> "BatchFitEngine":
+        """Build an engine configured for a registered scenario.
+
+        The scenario's ``solver_kwargs`` are forwarded to the underlying
+        :class:`EfitSolver`; explicit ``kwargs`` win on conflict.
+        """
+        from repro.scenarios import get_scenario
+
+        sc = get_scenario(scenario) if isinstance(scenario, str) else scenario
+        if shot is None:
+            shot = sc.make_shot(n)
+        merged = {**sc.solver_kwargs, **kwargs}
+        return cls(shot.machine, shot.diagnostics, shot.grid, **merged)
+
     # -- observability ------------------------------------------------------------
     def workspace_counters(self) -> WorkspaceCounters:
         """Aggregate allocation/reuse counters across all workers."""

@@ -48,6 +48,12 @@ DEFAULT_BASELINE = "analysis-baseline.json"
 
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser (exposed for testing and docs)."""
+    # The scenario registry is import-light (no numpy / no efit tables):
+    # the choice lists below come straight from it, so an unknown
+    # --scenario fails argparse-style — exit 2 with the full list.
+    from repro.scenarios import DEFAULT_SCENARIO, scenario_names
+
+    scenarios = scenario_names()
     parser = argparse.ArgumentParser(
         prog="repro",
         description="EFIT GPU performance-portability study, reproduced.",
@@ -72,6 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_fit = sub.add_parser("fit", help="reconstruct a synthetic time slice")
+    p_fit.add_argument(
+        "--scenario",
+        choices=scenarios,
+        default=DEFAULT_SCENARIO,
+        help=f"registered machine/shot scenario (default {DEFAULT_SCENARIO})",
+    )
     p_fit.add_argument("--grid", type=int, default=65, help="grid size (default 65)")
     p_fit.add_argument("--noise", type=float, default=1e-3, help="measurement noise")
     p_fit.add_argument("--solver", default="dst",
@@ -195,8 +207,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard a multi-slice reconstruction across worker processes",
     )
     p_pf.add_argument(
-        "case", choices=["g186610", "solovev"],
-        help="synthetic shot family to reconstruct",
+        "case", nargs="?", choices=scenarios, default=None,
+        help="scenario to reconstruct (positional form; default g186610)",
+    )
+    p_pf.add_argument(
+        "--scenario",
+        choices=scenarios,
+        default=None,
+        help="registered machine/shot scenario (same registry as the "
+        "positional case; giving both conflicting forms is an error)",
     )
     p_pf.add_argument("--grid", type=int, default=65, help="grid size (default 65)")
     p_pf.add_argument("--workers", type=int, default=2, help="worker processes (default 2)")
@@ -266,19 +285,23 @@ def _cmd_study(args) -> int:
 def _cmd_fit(args) -> int:
     import numpy as np
 
-    from repro.efit import EfitSolver, synthetic_shot_186610
+    from repro.efit import EfitSolver
+    from repro.scenarios import get_scenario
 
-    shot = synthetic_shot_186610(args.grid, noise=args.noise)
-    solver = EfitSolver(
-        shot.machine, shot.diagnostics, shot.grid, solver_name=args.solver
-    )
+    sc = get_scenario(args.scenario)
+    shot = sc.make_shot(args.grid, noise=args.noise)
+    solver = EfitSolver.for_scenario(sc, shot=shot, solver_name=args.solver)
     result = solver.fit(shot.measurements)
     err = float(np.abs(result.psi - shot.truth.psi).max() / np.ptp(shot.truth.psi))
+    print(f"scenario: {sc.name} ({sc.description})")
     print(f"converged: {result.converged} after {result.iterations} iterations")
     print(f"chi^2 = {result.chi2:.1f} over {shot.measurements.n_measurements} measurements")
     print(f"Ip = {result.ip / 1e6:.4f} MA; flux error vs truth = {err:.2e}")
     b = result.boundary
     print(f"axis: R = {b.r_axis:.3f} m, Z = {b.z_axis:+.4f} m ({b.boundary_type})")
+    expected = f"{sc.boundary_type}, {sc.n_xpoints} X-point(s)"
+    if b.boundary_type != sc.boundary_type:
+        print(f"warning: expected topology {expected}", file=sys.stderr)
     if args.geqdsk:
         from repro.efit.output import geqdsk_from_fit, write_geqdsk
 
@@ -578,21 +601,25 @@ def _cmd_pfleet(args) -> int:
     import numpy as np
 
     from repro.batch import BatchFitEngine, synthetic_slice_sequence
-    from repro.efit.measurements import synthetic_shot_186610, synthetic_solovev_shot
     from repro.errors import JobQuarantinedError, ParallelError
     from repro.obs import TraceHooks, TraceRecorder
     from repro.parallel import ParallelFitEngine, SchedulerConfig
     from repro.parallel.merge import write_merged_chrome_trace
+    from repro.scenarios import DEFAULT_SCENARIO, get_scenario
     from repro.utils.jsonio import dump_json
 
     if args.workers < 1 or args.slices < 1 or args.batch < 1:
         print("error: --workers, --slices and --batch must be >= 1", file=sys.stderr)
         return 2
-    shot = (
-        synthetic_shot_186610(args.grid)
-        if args.case == "g186610"
-        else synthetic_solovev_shot(args.grid)
-    )
+    if args.case and args.scenario and args.case != args.scenario:
+        print(
+            f"error: conflicting scenarios {args.case!r} (positional) and "
+            f"{args.scenario!r} (--scenario)",
+            file=sys.stderr,
+        )
+        return 2
+    sc = get_scenario(args.scenario or args.case or DEFAULT_SCENARIO)
+    shot = sc.make_shot(args.grid)
     slices = synthetic_slice_sequence(shot, args.slices, seed=3)
     recorder = TraceRecorder()
     hooks = TraceHooks(recorder)
@@ -602,15 +629,14 @@ def _cmd_pfleet(args) -> int:
         max_retries=args.max_retries,
     )
     print(
-        f"pfleet {args.case}@{args.grid}x{args.grid}: {args.slices} slices "
+        f"pfleet {sc.name}@{args.grid}x{args.grid}: {args.slices} slices "
         f"across {args.workers} worker(s), {args.batch} slices/job"
     )
     failures = ()
     try:
-        with ParallelFitEngine(
-            shot.machine,
-            shot.diagnostics,
-            shot.grid,
+        with ParallelFitEngine.for_scenario(
+            sc,
+            shot=shot,
             batch_size=args.batch,
             workers=args.workers,
             hooks=hooks,
@@ -661,8 +687,8 @@ def _cmd_pfleet(args) -> int:
                     return 2
                 print(f"wrote merged metrics {args.metrics_out}")
             if args.compare_serial:
-                serial = BatchFitEngine(
-                    shot.machine, shot.diagnostics, shot.grid, batch_size=args.batch
+                serial = BatchFitEngine.for_scenario(
+                    sc, shot=shot, batch_size=args.batch
                 )
                 serial_result = serial.fit_many(slices)
                 identical = len(result.results) == len(serial_result.results) and all(

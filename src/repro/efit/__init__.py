@@ -25,9 +25,25 @@ from repro.efit.tables import (
 from repro.efit.operators import GradShafranovOperator
 from repro.efit.basis import PolynomialBasis
 from repro.efit.profiles import ProfileCoefficients
-from repro.efit.machine import Tokamak, PoloidalFieldCoil, Limiter, VesselSegment, diiid_like_machine
+from repro.efit.machine import (
+    Tokamak,
+    PoloidalFieldCoil,
+    Limiter,
+    VesselSegment,
+    miller_contour,
+    diiid_like_machine,
+    spherical_torus_machine,
+    double_null_machine,
+    single_null_machine,
+)
 from repro.efit.diagnostics import FluxLoop, MagneticProbe, MSEChannel, RogowskiCoil, DiagnosticSet
-from repro.efit.measurements import MeasurementSet, SyntheticShot, synthetic_shot_186610
+from repro.efit.measurements import (
+    MeasurementSet,
+    SyntheticShot,
+    measure_equilibrium,
+    synthetic_shot_186610,
+    synthetic_solovev_shot,
+)
 from repro.efit.solovev import SolovevEquilibrium
 from repro.efit.boundary import BoundaryResult, find_axis, find_boundary
 from repro.efit.contours import FluxSurface, trace_flux_surface
@@ -65,7 +81,11 @@ __all__ = [
     "PoloidalFieldCoil",
     "Limiter",
     "VesselSegment",
+    "miller_contour",
     "diiid_like_machine",
+    "spherical_torus_machine",
+    "double_null_machine",
+    "single_null_machine",
     "FluxLoop",
     "MagneticProbe",
     "MSEChannel",
@@ -73,7 +93,9 @@ __all__ = [
     "DiagnosticSet",
     "MeasurementSet",
     "SyntheticShot",
+    "measure_equilibrium",
     "synthetic_shot_186610",
+    "synthetic_solovev_shot",
     "SolovevEquilibrium",
     "BoundaryResult",
     "find_axis",

@@ -139,6 +139,51 @@ def find_xpoints(
     return [(r, z, p) for _, r, z, p in candidates[:max_points]]
 
 
+def _core_clears_wall(
+    grid: RZGrid,
+    psi: np.ndarray,
+    sign: int,
+    spx: float,
+    inside_lim: np.ndarray,
+    i_ax: int,
+    j_ax: int,
+    lr: np.ndarray,
+    lz: np.ndarray,
+    psi_wall_signed: np.ndarray,
+) -> bool:
+    """Does the plasma bounded by the X-point at flux ``spx`` avoid the wall?
+
+    Wall samples can carry flux above ``spx`` *without* limiting the plasma
+    when they sit in a private-flux region (below/above a divertor X-point)
+    that is disconnected from the core.  Label the super-level set
+    ``sign*psi > spx`` and check whether any hot wall sample's grid cell
+    touches the component containing the axis; if none does, the hot
+    contacts are private flux and the X-point surface is a true separatrix.
+
+    The labelling level sits a couple of percent inside ``spx``: the
+    refined saddle value is a sub-node minimum, so every node *around*
+    the X-point carries flux above ``spx`` and a level set taken exactly
+    there always leaks through the saddle, spuriously connecting core to
+    private flux on any grid.
+    """
+    level = spx + 0.02 * (sign * psi[i_ax, j_ax] - spx)
+    core = (sign * psi > level) & inside_lim
+    labels, _ = ndimage.label(core)
+    axis_label = labels[i_ax, j_ax]
+    if axis_label == 0:
+        return False
+    hot = psi_wall_signed >= spx
+    if not hot.any():
+        return True
+    i0 = np.clip(((lr[hot] - grid.rmin) / grid.dr).astype(int), 0, grid.nw - 2)
+    j0 = np.clip(((lz[hot] - grid.zmin) / grid.dz).astype(int), 0, grid.nh - 2)
+    for di in (0, 1):
+        for dj in (0, 1):
+            if (labels[i0 + di, j0 + dj] == axis_label).any():
+                return False
+    return True
+
+
 def find_boundary(
     grid: RZGrid,
     psi: np.ndarray,
@@ -173,21 +218,48 @@ def find_boundary(
     psi_wall = grid.bilinear(psi, lr[keep], lz[keep])
     psi_lim = float(np.max(sign * psi_wall))
 
-    # X-point candidates: must lie inside the box, away from the axis, and
-    # bound a *smaller* plasma than the limiter (larger sign*psi).
+    inside_lim = inside if inside is not None else limiter.contains(grid.rr, grid.zz)
+    i_ax = min(max(int(round((r_axis - grid.rmin) / grid.dr)), 0), grid.nw - 1)
+    j_ax = min(max(int(round((z_axis - grid.zmin) / grid.dz)), 0), grid.nh - 1)
+
+    # X-point candidates: must lie inside the box *and the limiter* (wall
+    # corners and coil gaps host spurious vacuum saddles), away from the
+    # axis, and bound a *smaller* plasma than the limiter (larger
+    # sign*psi).  A candidate below the limiter flux can still win when
+    # every wall contact above it sits in disconnected private flux
+    # (diverted machines: the divertor legs hug the wall at flux above
+    # psi_x).  Of the passing candidates the most binding one (largest
+    # sign*psi) sets the boundary.
     psi_b = psi_lim
     boundary_type = "limiter"
     r_x = z_x = None
-    for rx, zx, px in find_xpoints(grid, psi):
-        if not bool(grid.contains(rx, zx)):
-            continue
-        if np.hypot(rx - r_axis, zx - z_axis) < 4.0 * max(grid.dr, grid.dz):
-            continue
-        spx = sign * px
-        if psi_lim < spx < sign * psi_axis:
-            psi_b = spx
-            boundary_type = "xpoint"
-            r_x, z_x = rx, zx
+    psi_wall_signed = sign * psi_wall
+    cands = find_xpoints(grid, psi, max_points=6)
+    if cands:
+        # One batched point-in-polygon test for every candidate — the
+        # polygon test is the expensive part, and its cost is per-call,
+        # not per-point.
+        rxs = np.array([c[0] for c in cands])
+        zxs = np.array([c[1] for c in cands])
+        admissible = (
+            grid.contains(rxs, zxs)
+            & limiter.contains(rxs, zxs)
+            & (np.hypot(rxs - r_axis, zxs - z_axis) >= 4.0 * max(grid.dr, grid.dz))
+        )
+        for cand_ok, (rx, zx, px) in zip(admissible, cands):
+            if not cand_ok:
+                continue
+            spx = sign * px
+            if not spx < sign * psi_axis:
+                continue
+            if boundary_type == "xpoint" and spx <= psi_b:
+                continue
+            if psi_lim < spx or _core_clears_wall(
+                grid, psi, sign, spx, inside_lim, i_ax, j_ax, lr[keep], lz[keep], psi_wall_signed
+            ):
+                psi_b = spx
+                boundary_type = "xpoint"
+                r_x, z_x = rx, zx
     psi_boundary = sign * psi_b
 
     denom = psi_boundary - psi_axis
@@ -195,18 +267,27 @@ def find_boundary(
         raise BoundaryError("degenerate flux range: psi_axis == psi_boundary")
     psin = (psi - psi_axis) / denom
 
-    inside_lim = inside if inside is not None else limiter.contains(grid.rr, grid.zz)
     candidate = (psin < 1.0) & inside_lim
     # Keep only the component connected to the axis (drop private flux).
-    labels, _ = ndimage.label(candidate)
-    i_ax = int(round((r_axis - grid.rmin) / grid.dr))
-    j_ax = int(round((z_axis - grid.zmin) / grid.dz))
-    i_ax = min(max(i_ax, 0), grid.nw - 1)
-    j_ax = min(max(j_ax, 0), grid.nh - 1)
-    axis_label = labels[i_ax, j_ax]
-    if axis_label == 0:
-        raise BoundaryError("magnetic axis not inside its own plasma mask")
-    mask = labels == axis_label
+    if boundary_type == "xpoint":
+        # On a diverted boundary the ``psin < 1`` set leaks through the
+        # saddle into the private-flux region (every node around the
+        # refined X-point sits above ``psi_x``), intermittently dumping
+        # far-from-core cells into the mask.  Label the component at a
+        # slightly interior level instead, then grow its rim back within
+        # ``psin < 1`` — the private blob stays more than two rings away.
+        core = (psin < 0.98) & inside_lim
+        labels, _ = ndimage.label(core)
+        axis_label = labels[i_ax, j_ax]
+        if axis_label == 0:
+            raise BoundaryError("magnetic axis not inside its own plasma mask")
+        mask = ndimage.binary_dilation(labels == axis_label, iterations=2) & candidate
+    else:
+        labels, _ = ndimage.label(candidate)
+        axis_label = labels[i_ax, j_ax]
+        if axis_label == 0:
+            raise BoundaryError("magnetic axis not inside its own plasma mask")
+        mask = labels == axis_label
 
     return BoundaryResult(
         psi_axis=psi_axis,

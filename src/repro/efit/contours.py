@@ -110,14 +110,20 @@ def trace_flux_surface(
     def level_at(s: np.ndarray) -> np.ndarray:
         return grid.bilinear(psin, r0 + s * ct, z0 + s * st)
 
+    # March outward in grid-scale steps to bracket the *first* crossing.
+    # A multiplicative expansion can leapfrog the thin ``psiN`` shell near
+    # an X-point straight into private flux (where ``psiN`` drops below
+    # the level again) and never bracket a diverted surface.
+    step = 0.5 * min(grid.dr, grid.dz)
     lo = np.zeros(n_theta)
-    hi = np.minimum(0.05 * s_max_box, s_max_box)
-    for _ in range(64):
+    hi = np.minimum(step, s_max_box)
+    for _ in range(int(np.ceil(float(np.max(s_max_box)) / step)) + 1):
         vals = level_at(hi)
         need = (vals < level) & (hi < s_max_box)
         if not need.any():
             break
-        hi[need] = np.minimum(hi[need] * 1.6, s_max_box[need])
+        lo[need] = hi[need]
+        hi[need] = np.minimum(hi[need] + step, s_max_box[need])
     if (level_at(hi) < level).any():
         raise BoundaryError(
             f"psiN = {level} not bracketed along some rays (open surface?)"

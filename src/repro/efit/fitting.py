@@ -180,6 +180,7 @@ class EfitSolver:
         fitdelz: bool = True,
         fit_vessel: bool = False,
         ridge: float = 1e-10,
+        initial_filament_z: float | None = None,
         profiler: RegionProfiler | None = None,
         hooks: ObservationHooks | None = None,
     ) -> None:
@@ -203,6 +204,12 @@ class EfitSolver:
         self.n_warmup = n_warmup
         self.fitdelz = fitdelz
         self.ridge = ridge
+        # Height of the seed filament in the default initial psi.  None
+        # keeps the historical slightly-off-node offset (0.41 dz above the
+        # midplane); up-down-asymmetric machines (single-null) should seed
+        # near the expected current centroid or the Picard loop can settle
+        # on a vertically displaced fixed point of the fitdelz feedback.
+        self.initial_filament_z = initial_filament_z
         self.profiler = profiler if profiler is not None else RegionProfiler()
         self.hooks = hooks if hooks is not None else NULL_HOOKS
 
@@ -228,21 +235,38 @@ class EfitSolver:
             self.vessel_response = diagnostics.response_to_vessel(machine)
             self.vessel_flux_tables = machine.vessel_flux_tables(grid)
 
+    @classmethod
+    def for_scenario(
+        cls,
+        scenario,
+        n: int = 65,
+        *,
+        shot=None,
+        **overrides,
+    ) -> "EfitSolver":
+        """Build a solver configured for a registered scenario.
+
+        ``scenario`` is a name from :func:`repro.scenarios.scenario_names`
+        or a :class:`~repro.scenarios.Scenario` instance.  The scenario's
+        ``solver_kwargs`` (e.g. the off-midplane seed filament an
+        asymmetric single-null needs) are applied first; ``overrides``
+        win on conflict.  Pass ``shot`` to reuse an already-built
+        :class:`~repro.efit.measurements.SyntheticShot` instead of
+        fetching the scenario's cached one at grid ``n``.
+        """
+        from repro.scenarios import get_scenario
+
+        sc = get_scenario(scenario) if isinstance(scenario, str) else scenario
+        if shot is None:
+            shot = sc.make_shot(n)
+        kwargs = {**sc.solver_kwargs, **overrides}
+        return cls(shot.machine, shot.diagnostics, shot.grid, **kwargs)
+
     # -- helpers ------------------------------------------------------------------
     def _shift_z(self, field: np.ndarray, delz: float) -> np.ndarray:
         """Shift a grid field vertically by ``delz`` metres (linear
         interpolation, zero fill) — ``f_new(z) = f(z - delz)``."""
-        grid = self.grid
-        s = delz / grid.dz
-        j = np.arange(grid.nh)
-        j_src = j - s
-        j0 = np.clip(np.floor(j_src).astype(int), 0, grid.nh - 1)
-        j1 = np.clip(j0 + 1, 0, grid.nh - 1)
-        frac = np.clip(j_src - j0, 0.0, 1.0)
-        valid = (j_src >= 0.0) & (j_src <= grid.nh - 1)
-        out = field[:, j0] * (1.0 - frac) + field[:, j1] * frac
-        out[:, ~valid] = 0.0
-        return out
+        return self.grid.shift_z(field, delz)
 
     def _fit_delz(
         self,
@@ -298,7 +322,7 @@ class EfitSolver:
         psi = self._psi_from_coils(measurements.coil_currents, statics)
         r0 = float(self.machine.limiter.r.mean())
         rf = r0 + 0.37 * grid.dr
-        zf = 0.41 * grid.dz
+        zf = 0.41 * grid.dz if self.initial_filament_z is None else self.initial_filament_z
         return psi + measurements.ip * greens_psi(grid.rr, grid.zz, rf, zf)
 
     # -- the Picard step machine ---------------------------------------------------

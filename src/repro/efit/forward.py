@@ -22,9 +22,9 @@ import numpy as np
 
 from repro.efit.boundary import BoundaryResult, find_boundary
 from repro.efit.current import basis_current_matrix
-from repro.efit.greens import greens_psi
+from repro.efit.greens import greens_br, greens_bz, greens_psi
 from repro.efit.grid import RZGrid
-from repro.efit.machine import Tokamak, _miller_contour
+from repro.efit.machine import Tokamak, miller_contour
 from repro.efit.pflux import PfluxVectorized
 from repro.efit.profiles import ProfileCoefficients
 from repro.efit.solvers import make_solver
@@ -61,27 +61,92 @@ def design_coil_currents(
     # profile), so aim low to land at DIII-D-like kappa ~ 1.8.
     elongation: float = 1.40,
     triangularity: float = 0.30,
+    elongation_lower: float | None = None,
+    triangularity_lower: float | None = None,
     ip: float = 1.0e6,
     n_control: int = 40,
     ridge: float = 1e-3,
+    x_points: tuple[tuple[float, float], ...] = (),
+    x_point_weight: float = 4.0,
+    filament_z: float = 0.0,
+    force_balance_weight: float = 0.0,
 ) -> np.ndarray:
     """Coil currents that hold a D-shaped plasma of current ``ip``.
 
     Solves ``min || psi_coils(x_m) + psi_filament(x_m) - const ||^2`` over
     control points ``x_m`` on the target boundary, with Tikhonov damping on
     the currents.  The constant is a free unknown.
+
+    ``elongation_lower``/``triangularity_lower`` make the target contour
+    up-down asymmetric (single-null shaping); ``filament_z`` moves the
+    single-filament plasma estimate off the midplane to match.
+
+    ``x_points`` appends weighted field-null rows — ``Br = 0`` and
+    ``Bz = 0`` of the total (coil + filament) field at each requested
+    point — turning the isoflux fit into the diverted shape-design
+    problem: a null on the target contour makes that flux surface the
+    separatrix, with an X-point at the requested location.  The field
+    rows are scaled by ``x_point_weight * minor_radius`` to be
+    commensurate with the flux rows.
+
+    ``force_balance_weight`` appends a vertical force-balance row:
+    ``Br_coils = 0`` at the filament position (the filament exerts no
+    net force on itself).  Without it an up-down-asymmetric design can
+    place the *shape* correctly while the designed field still pushes
+    the plasma vertically, so the nearest natural equilibrium sits far
+    from the target and can only be held there by a persistent rigid
+    shift of the current — a state outside the span of any flux-function
+    current basis, which no reconstruction can then fit.
     """
     if n_control < machine.n_coils:
         raise FittingError("need at least as many control points as coils")
-    rc, zc = _miller_contour(r0, minor_radius, elongation, triangularity, n_control)
+    rc, zc = miller_contour(
+        r0,
+        minor_radius,
+        elongation,
+        triangularity,
+        n_control,
+        kappa_lower=elongation_lower,
+        delta_lower=triangularity_lower,
+    )
     # Plasma estimate: one filament at the magnetic axis.
-    psi_plasma = ip * greens_psi(rc, zc, r0, 0.0)
+    psi_plasma = ip * greens_psi(rc, zc, r0, filament_z)
     a = np.empty((n_control, machine.n_coils + 1))
     for k, coil in enumerate(machine.coils):
         a[:, k] = coil.psi_at(rc, zc)
     a[:, -1] = -1.0  # the unknown boundary constant
     b = -psi_plasma
-    scale = np.linalg.norm(a[:, :-1], ord=2)
+    null_rows: list[np.ndarray] = []
+    null_rhs: list[float] = []
+    for rx, zx in x_points:
+        w = x_point_weight * minor_radius
+        rx_arr, zx_arr = np.asarray(float(rx)), np.asarray(float(zx))
+        row_br = np.empty(machine.n_coils + 1)
+        row_bz = np.empty(machine.n_coils + 1)
+        for k, coil in enumerate(machine.coils):
+            row_br[k] = coil.br_at(rx_arr, zx_arr)
+            row_bz[k] = coil.bz_at(rx_arr, zx_arr)
+        row_br[-1] = row_bz[-1] = 0.0  # the boundary constant carries no field
+        null_rows.extend([w * row_br, w * row_bz])
+        null_rhs.extend(
+            [
+                -w * ip * float(greens_br(rx_arr, zx_arr, r0, filament_z)),
+                -w * ip * float(greens_bz(rx_arr, zx_arr, r0, filament_z)),
+            ]
+        )
+    if force_balance_weight > 0.0:
+        w = force_balance_weight * minor_radius
+        rf_arr, zf_arr = np.asarray(float(r0)), np.asarray(float(filament_z))
+        row_fb = np.empty(machine.n_coils + 1)
+        for k, coil in enumerate(machine.coils):
+            row_fb[k] = coil.br_at(rf_arr, zf_arr)
+        row_fb[-1] = 0.0
+        null_rows.append(w * row_fb)
+        null_rhs.append(0.0)
+    if null_rows:
+        a = np.vstack([a, *null_rows])
+        b = np.concatenate([b, null_rhs])
+    scale = np.linalg.norm(a[: n_control, :-1], ord=2)
     reg = np.zeros((machine.n_coils, machine.n_coils + 1))
     reg[:, : machine.n_coils] = np.sqrt(ridge) * scale * np.eye(machine.n_coils)
     sol, *_ = np.linalg.lstsq(np.vstack([a, reg]), np.concatenate([b, np.zeros(machine.n_coils)]), rcond=None)
@@ -89,14 +154,20 @@ def design_coil_currents(
 
 
 def _initial_psi(
-    machine: Tokamak, grid: RZGrid, coil_currents: np.ndarray, ip: float, r0: float
+    machine: Tokamak,
+    grid: RZGrid,
+    coil_currents: np.ndarray,
+    ip: float,
+    r0: float,
+    z0: float = 0.0,
 ) -> np.ndarray:
     """Vacuum flux plus a single-filament plasma estimate (off-node)."""
     psi = machine.psi_from_coils(grid, coil_currents)
     # Offset the seed filament off the mesh nodes in R to avoid the Green
-    # function singularity; keep it on the midplane for symmetry.
+    # function singularity; keep it on the midplane for symmetry unless an
+    # asymmetric start was requested.
     rf = r0 + 0.37 * grid.dr
-    psi += ip * greens_psi(grid.rr, grid.zz, rf, 0.0)
+    psi += ip * greens_psi(grid.rr, grid.zz, rf, z0)
     return psi
 
 
@@ -111,8 +182,12 @@ def solve_forward(
     tol: float = 1e-9,
     max_iters: int = 200,
     relax: float = 1.0,
+    relax_current: float = 1.0,
+    edge_smooth: float = 0.0,
     solver_name: str = "dst",
     symmetrize: bool = True,
+    hold_z_centroid: float | None = None,
+    initial_z: float = 0.0,
 ) -> ForwardEquilibrium:
     """Picard iteration with prescribed profile shapes.
 
@@ -120,14 +195,43 @@ def solve_forward(
     current equals ``ip`` — the forward analog of EFIT's Rogowski
     constraint — then recomputes the flux with ``pflux_``.
 
+    ``relax_current`` blends the plasma-current distribution between
+    iterates (the forward analog of the reconstruction's current
+    relaxation).  Diverted equilibria need it: the in-plasma mask is a
+    discrete cell set cut at the separatrix, so near an X-point the
+    current jumps discontinuously as ``psiN = 1`` crosses grid nodes, and
+    plain Picard falls into a mask limit cycle that no amount of flux
+    under-relaxation can damp.
+
+    ``edge_smooth`` tapers the current density to zero over the last
+    ``edge_smooth`` of normalised flux (weight ``(1 - psiN)/edge_smooth``
+    clipped to [0, 1]) — a finite-width edge falloff that makes the
+    discrete current distribution *continuous* in the separatrix
+    position, removing the mask limit cycle at its source.  Zero (the
+    default) reproduces the sharp EFIT cutoff exactly.
+
     ``symmetrize`` mirrors the flux about the midplane every iterate.
     Elongated plasmas are vertically unstable and a plain Picard loop has
     no feedback to hold them; for an up-down-symmetric machine the
     symmetric equilibrium is the physical one, so we project onto it (the
     forward analog of a vertical-position control loop).
+
+    Up-down-*asymmetric* plasmas (single-null) cannot be symmetrized;
+    ``hold_z_centroid`` instead emulates the control system directly: each
+    iterate the current distribution is rigidly shifted (half-gain,
+    clamped to a few cells) so its vertical centroid tracks the prescribed
+    target — the forward analog of the ``fitdelz`` feedback the
+    reconstruction applies.  ``initial_z`` places the seed filament off
+    the midplane to start the loop near the asymmetric solution.
     """
     if not (0.0 < relax <= 1.0):
         raise FittingError(f"relaxation parameter {relax} outside (0, 1]")
+    if not (0.0 < relax_current <= 1.0):
+        raise FittingError(f"current relaxation parameter {relax_current} outside (0, 1]")
+    if not (0.0 <= edge_smooth < 1.0):
+        raise FittingError(f"edge smoothing width {edge_smooth} outside [0, 1)")
+    if symmetrize and hold_z_centroid is not None:
+        raise FittingError("hold_z_centroid requires symmetrize=False")
     if coil_currents is None:
         coil_currents = design_coil_currents(machine, ip=ip)
     coil_currents = np.asarray(coil_currents, dtype=float)
@@ -140,7 +244,7 @@ def solve_forward(
         psi_external = psi_external + machine.psi_from_vessel(grid, vessel_currents)
 
     r0_guess = float(machine.limiter.r.mean())
-    psi = _initial_psi(machine, grid, coil_currents, ip, r0_guess)
+    psi = _initial_psi(machine, grid, coil_currents, ip, r0_guess, initial_z)
     coeffs = profiles.as_vector()
     sign = 1 if ip >= 0 else -1
 
@@ -153,11 +257,28 @@ def solve_forward(
             grid, boundary.psin, boundary.mask, profiles.pp_basis, profiles.ffp_basis
         )
         pcurr_flat = jmat @ coeffs
+        if edge_smooth > 0.0:
+            pcurr_flat = pcurr_flat * grid.flatten(
+                np.clip((1.0 - boundary.psin) / edge_smooth, 0.0, 1.0)
+            )
         total = float(pcurr_flat.sum())
         if total == 0.0:
             raise ConvergenceError("prescribed profiles carry zero current")
         pcurr_flat *= ip / total
         pcurr = grid.unflatten(pcurr_flat)
+        if hold_z_centroid is not None:
+            # Vertical-position control: rigidly recenter the current
+            # distribution toward the target centroid (half gain, clamped
+            # to a few cells — the same linear-shift model as fitdelz).
+            z_c = float((pcurr * grid.zz).sum() / pcurr.sum())
+            delz = 0.5 * (hold_z_centroid - z_c)
+            cap = 4.0 * grid.dz
+            delz = float(np.clip(delz, -cap, cap))
+            if delz != 0.0:
+                pcurr = grid.shift_z(pcurr, delz)
+        if relax_current != 1.0 and iteration > 1:
+            pcurr = (1.0 - relax_current) * pcurr_prev + relax_current * pcurr
+        pcurr_prev = pcurr
         psi_new = pflux.compute(pcurr, psi_external)
         if symmetrize:
             psi_new = 0.5 * (psi_new + psi_new[:, ::-1])

@@ -175,6 +175,28 @@ class RZGrid:
         z = np.asarray(z)
         return (r >= self.rmin) & (r <= self.rmax) & (z >= self.zmin) & (z <= self.zmax)
 
+    def shift_z(self, field: np.ndarray, delz: float) -> np.ndarray:
+        """Shift a grid field vertically by ``delz`` metres (linear
+        interpolation, zero fill) — ``f_new(z) = f(z - delz)``.
+
+        This is the rigid vertical transport used both by EFIT's
+        ``fitdelz`` feedback (shifting the fitted current distribution)
+        and by the forward solver's vertical-position hold.
+        """
+        field = np.asarray(field)
+        if field.shape != self.shape:
+            raise GridError(f"field shape {field.shape} != grid shape {self.shape}")
+        s = delz / self.dz
+        j = np.arange(self.nh)
+        j_src = j - s
+        j0 = np.clip(np.floor(j_src).astype(int), 0, self.nh - 1)
+        j1 = np.clip(j0 + 1, 0, self.nh - 1)
+        frac = np.clip(j_src - j0, 0.0, 1.0)
+        valid = (j_src >= 0.0) & (j_src <= self.nh - 1)
+        out = field[:, j0] * (1.0 - frac) + field[:, j1] * frac
+        out[:, ~valid] = 0.0
+        return out
+
     def refined(self, factor: int = 2) -> "RZGrid":
         """A grid with (n-1)*factor+1 points per direction on the same box.
 

@@ -23,7 +23,16 @@ from repro.efit.greens import greens_br, greens_bz, greens_psi
 from repro.efit.grid import RZGrid
 from repro.errors import MeasurementError
 
-__all__ = ["PoloidalFieldCoil", "Limiter", "Tokamak", "diiid_like_machine"]
+__all__ = [
+    "PoloidalFieldCoil",
+    "Limiter",
+    "Tokamak",
+    "miller_contour",
+    "diiid_like_machine",
+    "spherical_torus_machine",
+    "double_null_machine",
+    "single_null_machine",
+]
 
 
 @dataclass(frozen=True)
@@ -147,20 +156,28 @@ class Limiter:
         return int(self.r.size)
 
     def contains(self, r, z) -> np.ndarray:
-        """Vectorised point-in-polygon (even-odd rule)."""
+        """Vectorised point-in-polygon (even-odd rule).
+
+        Broadcasts edges against query points in one shot — the boundary
+        search probes the polygon with scalar X-point candidates every
+        Picard iterate, so a per-edge Python loop here dominates
+        ``steps_`` time.
+        """
         r = np.asarray(r, dtype=float)
         z = np.asarray(z, dtype=float)
         rp, zp = np.broadcast_arrays(r, z)
-        inside = np.zeros(rp.shape, dtype=bool)
-        x1, y1 = self.r, self.z
-        x2 = np.roll(x1, -1)
-        y2 = np.roll(y1, -1)
-        for xa, ya, xb, yb in zip(x1, y1, x2, y2):
-            crosses = (ya > zp) != (yb > zp)
-            with np.errstate(divide="ignore", invalid="ignore"):
-                x_int = xa + (zp - ya) * (xb - xa) / (yb - ya)
-            inside ^= crosses & (rp < x_int)
-        return inside
+        shape = rp.shape
+        rp = rp.reshape(1, -1)
+        zp = zp.reshape(1, -1)
+        x1 = self.r[:, None]
+        y1 = self.z[:, None]
+        x2 = np.roll(self.r, -1)[:, None]
+        y2 = np.roll(self.z, -1)[:, None]
+        crosses = (y1 > zp) != (y2 > zp)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x_int = x1 + (zp - y1) * (x2 - x1) / (y2 - y1)
+        inside = np.logical_xor.reduce(crosses & (rp < x_int), axis=0)
+        return inside.reshape(shape)
 
     def sample_points(self, n_per_edge: int = 4) -> tuple[np.ndarray, np.ndarray]:
         """Densified limiter contour used for the boundary-psi search."""
@@ -260,14 +277,44 @@ class Tokamak:
         return np.tensordot(currents, self.vessel_flux_tables(grid), axes=1)
 
 
-def _miller_contour(
-    r0: float, a: float, kappa: float, delta: float, n: int
+def miller_contour(
+    r0: float,
+    a: float,
+    kappa: float,
+    delta: float,
+    n: int,
+    *,
+    kappa_lower: float | None = None,
+    delta_lower: float | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Miller-parameterised D-shaped closed contour."""
+    """Miller-parameterised D-shaped closed contour.
+
+    ``r = r0 + a cos(theta + delta sin theta)``, ``z = kappa a sin theta``.
+    ``kappa_lower``/``delta_lower`` switch the lower half (``sin theta < 0``)
+    to its own elongation/triangularity, producing the up-down-asymmetric
+    shapes of single-null plasmas; both halves meet continuously at the
+    midplane (``z = 0`` at ``theta = 0, pi`` regardless of the split).
+    Defaults reproduce the symmetric contour exactly.
+    """
+    if a <= 0.0 or r0 - a <= 0.0:
+        raise MeasurementError("miller contour crosses the machine axis")
     theta = np.linspace(0.0, 2.0 * np.pi, n, endpoint=False)
-    r = r0 + a * np.cos(theta + delta * np.sin(theta))
-    z = kappa * a * np.sin(theta)
+    if kappa_lower is None and delta_lower is None:
+        r = r0 + a * np.cos(theta + delta * np.sin(theta))
+        z = kappa * a * np.sin(theta)
+        return r, z
+    k_lo = kappa if kappa_lower is None else kappa_lower
+    d_lo = delta if delta_lower is None else delta_lower
+    sin_t = np.sin(theta)
+    kap = np.where(sin_t >= 0.0, kappa, k_lo)
+    dlt = np.where(sin_t >= 0.0, delta, d_lo)
+    r = r0 + a * np.cos(theta + dlt * sin_t)
+    z = kap * a * sin_t
     return r, z
+
+
+#: Backwards-compatible private alias (historical internal name).
+_miller_contour = miller_contour
 
 
 def diiid_like_machine(*, n_limiter: int = 64, n_vessel: int = 24) -> Tokamak:
@@ -308,4 +355,142 @@ def diiid_like_machine(*, n_limiter: int = 64, n_vessel: int = 24) -> Tokamak:
         f_vacuum=1.69 * 2.0,
         default_box=(0.84, 2.54, -1.6, 1.6),
         vessel=vessel,
+    )
+
+
+def _mirror_pairs(
+    upper: list[tuple[str, float, float, float, float, float]],
+) -> tuple[PoloidalFieldCoil, ...]:
+    """Expand an upper-half coil table into up-down-symmetric A/B pairs."""
+    coils: list[PoloidalFieldCoil] = []
+    for name, r, z, w, h, turns in upper:
+        coils.append(PoloidalFieldCoil(name, r, z, w, h, turns))
+        coils.append(PoloidalFieldCoil(name.replace("A", "B"), r, -z, w, h, turns))
+    return tuple(coils)
+
+
+def _vessel_ring(
+    r0: float,
+    a: float,
+    kappa: float,
+    delta: float,
+    n: int,
+    *,
+    kappa_lower: float | None = None,
+    delta_lower: float | None = None,
+) -> tuple[VesselSegment, ...]:
+    """Vessel wall: the limiter contour scaled out by 6 % about its centroid."""
+    vr, vz = miller_contour(
+        r0, a * 1.06, kappa, delta, n, kappa_lower=kappa_lower, delta_lower=delta_lower
+    )
+    return tuple(
+        VesselSegment(f"VS{k:03d}", float(r), float(z)) for k, (r, z) in enumerate(zip(vr, vz))
+    )
+
+
+def spherical_torus_machine(*, n_limiter: int = 64, n_vessel: int = 24) -> Tokamak:
+    """A spherical-torus (low-aspect-ratio) machine.
+
+    Geometry follows the ST power-plant-scale design point the scenario
+    zoo targets: R0 = 2.5 m, aspect ratio A = 1.6 (a = 1.5625 m),
+    elongation 2.8 — the regime the EXL-50U reconstruction work shows
+    stresses Grad-Shafranov solvers very differently from conventional
+    aspect ratio (strong outboard/inboard field asymmetry, near-vertical
+    inboard flux surfaces).  A central-solenoid-side coil stack plus an
+    outboard PF ring, all in up-down-symmetric pairs.
+    """
+    r0, a, kappa, delta = 2.5, 1.5625, 2.8, 0.45
+    upper = [
+        # Central-solenoid-side stack (tall, inboard).
+        ("CS1A", 0.42, 0.60, 0.12, 1.00, 60.0),
+        ("CS2A", 0.42, 1.75, 0.12, 1.00, 60.0),
+        ("CS3A", 0.42, 2.90, 0.12, 1.00, 60.0),
+        ("CS4A", 0.42, 4.00, 0.12, 0.90, 60.0),
+        # Outboard PF ring tracking the strongly elongated wall.
+        ("PF1A", 1.60, 4.95, 0.30, 0.25, 55.0),
+        ("PF2A", 3.10, 4.35, 0.30, 0.25, 55.0),
+        ("PF3A", 4.45, 2.70, 0.30, 0.25, 55.0),
+        ("PF4A", 4.80, 1.05, 0.30, 0.25, 55.0),
+    ]
+    lr, lz = miller_contour(r0, a, kappa, delta, n_limiter)
+    return Tokamak(
+        name="spherical-torus",
+        coils=_mirror_pairs(upper),
+        limiter=Limiter(lr, lz),
+        # Low-field ST: B0 ~ 1 T at R0 = 2.5 m.
+        f_vacuum=2.5,
+        default_box=(0.55, 4.55, -4.85, 4.85),
+        vessel=_vessel_ring(r0, a, kappa, delta, n_vessel),
+    )
+
+
+def double_null_machine(*, n_limiter: int = 64, n_vessel: int = 24) -> Tokamak:
+    """A DIII-D-scale machine shaped for double-null diverted operation.
+
+    The wall is taller and wider than the DIII-D-like limiter (minor
+    radius 0.78 m, elongation 2.05) so an up-down-symmetric separatrix
+    with X-points near z = ±1.1 m fits strictly inside it — a diverted
+    boundary exists only when the X-point flux surface clears the wall —
+    and the upper/lower coil rows sit higher to give the shape-design
+    problem radial-field actuators near both nulls.
+    """
+    r0, a, kappa, delta = 1.69, 0.78, 2.05, 0.45
+    upper = [
+        ("F1A", 0.8608, 0.25, 0.0508, 0.36, 58.0),
+        ("F2A", 0.8614, 0.70, 0.0508, 0.36, 58.0),
+        ("F3A", 0.8628, 1.15, 0.0508, 0.36, 58.0),
+        ("F4A", 0.8611, 1.60, 0.0508, 0.36, 58.0),
+        ("F5A", 1.0041, 1.95, 0.13, 0.13, 58.0),
+        ("F6A", 2.6124, 0.52, 0.27, 0.17, 55.0),
+        ("F7A", 2.3733, 1.40, 0.17, 0.17, 55.0),
+        # Divertor-row coils close above/below the target X-points.
+        ("F8A", 1.2518, 1.90, 0.13, 0.13, 58.0),
+        ("F9A", 1.6890, 1.85, 0.13, 0.13, 55.0),
+    ]
+    lr, lz = miller_contour(r0, a, kappa, delta, n_limiter)
+    return Tokamak(
+        name="double-null",
+        coils=_mirror_pairs(upper),
+        limiter=Limiter(lr, lz),
+        f_vacuum=1.69 * 2.0,
+        default_box=(0.84, 2.54, -1.75, 1.75),
+        vessel=_vessel_ring(r0, a, kappa, delta, n_vessel),
+    )
+
+
+def single_null_machine(*, n_limiter: int = 64, n_vessel: int = 24) -> Tokamak:
+    """A DIII-D-scale machine with an up-down-asymmetric first wall.
+
+    The limiter's lower half is taller and more triangular than the upper
+    (kappa 2.05/1.65, delta 0.55/0.35) to host a lower-single-null
+    diverted plasma; the coil set is geometrically symmetric (shape
+    asymmetry comes from the designed currents), with the same divertor
+    rows as :func:`double_null_machine`.
+    """
+    r0, a = 1.69, 0.67
+    kappa_u, kappa_l = 1.65, 2.05
+    delta_u, delta_l = 0.35, 0.55
+    upper = [
+        ("F1A", 0.8608, 0.25, 0.0508, 0.36, 58.0),
+        ("F2A", 0.8614, 0.70, 0.0508, 0.36, 58.0),
+        ("F3A", 0.8628, 1.15, 0.0508, 0.36, 58.0),
+        ("F4A", 0.8611, 1.60, 0.0508, 0.36, 58.0),
+        ("F5A", 1.0041, 1.95, 0.13, 0.13, 58.0),
+        ("F6A", 2.6124, 0.52, 0.27, 0.17, 55.0),
+        ("F7A", 2.3733, 1.40, 0.17, 0.17, 55.0),
+        ("F8A", 1.2518, 1.90, 0.13, 0.13, 58.0),
+        ("F9A", 1.6890, 1.85, 0.13, 0.13, 55.0),
+    ]
+    lr, lz = miller_contour(
+        r0, a, kappa_u, delta_u, n_limiter, kappa_lower=kappa_l, delta_lower=delta_l
+    )
+    return Tokamak(
+        name="single-null",
+        coils=_mirror_pairs(upper),
+        limiter=Limiter(lr, lz),
+        f_vacuum=1.69 * 2.0,
+        default_box=(0.84, 2.54, -1.75, 1.55),
+        vessel=_vessel_ring(
+            r0, a, kappa_u, delta_u, n_vessel, kappa_lower=kappa_l, delta_lower=delta_l
+        ),
     )

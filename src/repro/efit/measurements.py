@@ -28,6 +28,7 @@ from repro.errors import MeasurementError
 __all__ = [
     "MeasurementSet",
     "SyntheticShot",
+    "measure_equilibrium",
     "synthetic_shot_186610",
     "synthetic_solovev_shot",
 ]
@@ -94,7 +95,7 @@ class SyntheticShot:
         return f"synthetic-{self.name}@{self.grid.nw}x{self.grid.nh}"
 
 
-def _measure(
+def measure_equilibrium(
     machine: Tokamak,
     diagnostics: DiagnosticSet,
     grid: RZGrid,
@@ -103,7 +104,13 @@ def _measure(
     noise: float,
     seed: int,
 ) -> MeasurementSet:
-    """Evaluate every diagnostic on the ground truth and add noise."""
+    """Evaluate every diagnostic on the ground truth and add noise.
+
+    The public entry point scenario shot factories build on: per-class
+    uncertainty floors (flux loops, probes, MSE, Rogowski), deterministic
+    noise from ``seed``, and the :class:`MeasurementSet` row ordering the
+    response assembly expects.
+    """
     g_grid = diagnostics.response_to_grid(grid)
     g_coils = diagnostics.response_to_coils(machine)
     exact = g_grid @ grid.flatten(equilibrium.pcurr) + g_coils @ equilibrium.coil_currents
@@ -162,7 +169,7 @@ def _cached_shot(n: int, noise: float, seed: int, n_mse: int, eddy_ka: float) ->
         machine, grid, truth_profiles, ip=1.0e6, vessel_currents=vessel_currents
     )
     diagnostics = DiagnosticSet.for_machine(machine, n_mse=n_mse)
-    measurements = _measure(
+    measurements = measure_equilibrium(
         machine, diagnostics, grid, equilibrium, noise=noise, seed=seed
     )
     return SyntheticShot(
@@ -172,6 +179,10 @@ def _cached_shot(n: int, noise: float, seed: int, n_mse: int, eddy_ka: float) ->
         truth=equilibrium,
         measurements=measurements,
     )
+
+
+#: Backwards-compatible private alias (historical internal name).
+_measure = measure_equilibrium
 
 
 def synthetic_shot_186610(
@@ -261,7 +272,7 @@ def _cached_solovev_shot(
         residual=0.0,
     )
     diagnostics = DiagnosticSet.for_machine(machine)
-    measurements = _measure(
+    measurements = measure_equilibrium(
         machine, diagnostics, grid, truth, noise=noise, seed=seed
     )
     return SyntheticShot(

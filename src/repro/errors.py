@@ -16,6 +16,7 @@ __all__ = [
     "BoundaryError",
     "FittingError",
     "MeasurementError",
+    "ScenarioError",
     "DirectiveError",
     "DirectiveParseError",
     "TranslationError",
@@ -67,6 +68,10 @@ class FittingError(ReproError):
 
 class MeasurementError(ReproError):
     """Invalid measurement set or diagnostic specification."""
+
+
+class ScenarioError(ReproError):
+    """Unknown scenario name or invalid scenario declaration."""
 
 
 class DirectiveError(ReproError):

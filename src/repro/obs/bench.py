@@ -119,6 +119,20 @@ def _setup_fit_65() -> Callable[[], object]:
     return lambda: solver.fit(shot.measurements)
 
 
+def _setup_fit_dn_33() -> Callable[[], object]:
+    # A diverted scenario in the timed suite: the X-point boundary path
+    # (connectivity labelling, dilated mask) has its own cost profile
+    # and regressions there would be invisible to the limiter cases.
+    from repro.efit.fitting import EfitSolver
+    from repro.scenarios import get_scenario
+
+    sc = get_scenario("double-null")
+    shot = sc.make_shot(33)
+    solver = EfitSolver.for_scenario(sc, shot=shot)
+    solver.fit(shot.measurements)  # warm the table cache + BLAS
+    return lambda: solver.fit(shot.measurements)
+
+
 def _setup_batch_65_b8() -> Callable[[], object]:
     from repro.batch import BatchFitEngine, synthetic_slice_sequence
     from repro.efit.measurements import synthetic_shot_186610
@@ -177,6 +191,7 @@ def _setup_kernel_dst_solve_65() -> Callable[[], object]:
 
 _CASES: tuple[BenchCase, ...] = (
     BenchCase("fit_65", "fit", _setup_fit_65),
+    BenchCase("fit_dn_33", "fit", _setup_fit_dn_33),
     BenchCase("batch_65_b8", "batch", _setup_batch_65_b8),
     BenchCase("parallel_65_w4", "parallel", _setup_parallel_65_w4),
     BenchCase("kernel_boundary_65", "kernels", _setup_kernel_boundary_65, inner_loops=20),

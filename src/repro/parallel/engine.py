@@ -169,6 +169,26 @@ class ParallelFitEngine:
         )
         self._last_reports: tuple[WorkerReport, ...] = ()
 
+    @classmethod
+    def for_scenario(
+        cls, scenario, n: int = 65, *, shot=None, **kwargs
+    ) -> "ParallelFitEngine":
+        """Build a fleet configured for a registered scenario.
+
+        The scenario's ``solver_kwargs`` ship to every worker process
+        alongside any explicit ``kwargs`` (which win on conflict), so
+        scenario-specific solver settings — e.g. the single-null's
+        off-midplane seed filament — apply identically in the fleet and
+        in the serial engines it is compared against.
+        """
+        from repro.scenarios import get_scenario
+
+        sc = get_scenario(scenario) if isinstance(scenario, str) else scenario
+        if shot is None:
+            shot = sc.make_shot(n)
+        merged = {**sc.solver_kwargs, **kwargs}
+        return cls(shot.machine, shot.diagnostics, shot.grid, **merged)
+
     # -- lifecycle -----------------------------------------------------------------
     def close(self) -> None:
         """Stop the worker pool and release the table arena (idempotent)."""

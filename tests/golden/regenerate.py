@@ -11,9 +11,14 @@ BLAS jitter — require regeneration.
 ``--check`` regenerates in memory and *compares* instead of writing,
 with exactly the tolerances ``test_golden_equilibria.py`` applies
 (iterations within 3, psi checksums to 1e-4 relative, axis to 2e-3 m,
-chi^2 to 5 %, Ip to 0.1 %, plasma volume within 5 cells).  Exit status 1
-on drift — the nightly workflow runs this to catch slow divergence that
-per-PR test noise thresholds would absorb.
+chi^2 to 5 %, Ip to 0.1 %, plasma volume within 5 cells, topology
+exact).  Exit status 1 on drift in *any* scenario, with a per-field
+diff — the nightly workflow runs this to catch slow divergence that
+per-PR test noise thresholds would absorb.  A case that fails to
+reconstruct at all (solver exception) is reported as drift, not a
+crash, so one broken scenario cannot mask drift reports for the others.
+
+``--case`` restricts either mode to a subset of scenarios.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from golden.snapshot import CASES, GOLDEN_DIR, equilibrium_snapshot, reconstruct
 _TOLERANCES = {
     "converged": ("exact", None),
     "boundary_type": ("exact", None),
+    "xpoints_in_limiter": ("exact", None),
     "iterations": ("abs", 3),
     "plasma_volume_cells": ("abs", 5),
     "psi_sum": ("rel", 1e-4),
@@ -60,9 +66,18 @@ def check_case(case: str) -> list[str]:
     if not path.exists():
         return [f"missing artifact {path.name}"]
     golden = json.loads(path.read_text())
-    fresh = equilibrium_snapshot(case, reconstruct(case))
+    try:
+        fresh = equilibrium_snapshot(case, reconstruct(case))
+    except Exception as exc:  # noqa: BLE001 - a broken case IS drift
+        return [f"reconstruction failed: {type(exc).__name__}: {exc}"]
     drift = []
     for field, (kind, tol) in _TOLERANCES.items():
+        if field not in golden:
+            drift.append(
+                f"{field}: absent from committed artifact (schema "
+                f"{golden.get('schema_version')}) — regenerate"
+            )
+            continue
         if _drifted(kind, tol, golden[field], fresh[field]):
             drift.append(
                 f"{field}: golden={golden[field]!r} fresh={fresh[field]!r} "
@@ -71,19 +86,39 @@ def check_case(case: str) -> list[str]:
     return drift
 
 
+def _select(cases: list[str] | None) -> list[str]:
+    if not cases:
+        return list(CASES)
+    unknown = [c for c in cases if c not in CASES]
+    if unknown:
+        raise SystemExit(
+            f"unknown golden case(s): {', '.join(unknown)}; "
+            f"known: {', '.join(CASES)}"
+        )
+    return cases
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--check",
         action="store_true",
         help="compare fresh reconstructions against the committed artifacts "
-        "instead of overwriting them; exit 1 on drift",
+        "instead of overwriting them; exit 1 on drift in any scenario",
+    )
+    parser.add_argument(
+        "--case",
+        action="append",
+        metavar="NAME",
+        default=None,
+        help="restrict to this golden case (repeatable; default: all)",
     )
     args = parser.parse_args(argv)
+    selected = _select(args.case)
 
     if args.check:
         clean = True
-        for case in CASES:
+        for case in selected:
             drift = check_case(case)
             if drift:
                 clean = False
@@ -100,7 +135,8 @@ def main(argv: list[str] | None = None) -> int:
             )
         return 0 if clean else 1
 
-    for case, filename in CASES.items():
+    for case in selected:
+        filename = CASES[case]
         result = reconstruct(case)
         snap = equilibrium_snapshot(case, result)
         path = GOLDEN_DIR / filename
@@ -108,7 +144,8 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{case}: wrote {path.name} "
             f"(iterations={snap['iterations']}, chi2={snap['chi2']:.2f}, "
-            f"axis=({snap['r_axis']:.4f}, {snap['z_axis']:.4f}))"
+            f"axis=({snap['r_axis']:.4f}, {snap['z_axis']:.4f}), "
+            f"{snap['boundary_type']}/{snap['xpoints_in_limiter']} X-point(s))"
         )
     return 0
 

@@ -1,10 +1,12 @@
-"""Golden-equilibrium regression tests.
+"""Golden-equilibrium regression tests over the scenario zoo.
 
-Fresh 65^2 reconstructions of the g186610-like and Solov'ev synthetic
-shots are compared against committed snapshots of their psi checksums,
-magnetic-axis location, chi^2 and iteration count.  A drifting result
-means the physics changed; if the change is intentional, regenerate with
-``PYTHONPATH=src python tests/golden/regenerate.py`` and commit the diff.
+Fresh 65^2 reconstructions of every golden-tracked scenario (DIII-D-like
+baseline, Solov'ev, spherical torus, double-null, single-null, MSE) are
+compared against committed snapshots of their psi checksums,
+magnetic-axis location, chi^2, iteration count and magnetic topology.
+A drifting result means the physics changed; if the change is
+intentional, regenerate with ``PYTHONPATH=src python
+tests/golden/regenerate.py`` and commit the diff.
 """
 
 from __future__ import annotations
@@ -12,6 +14,8 @@ from __future__ import annotations
 import json
 
 import pytest
+
+from repro.scenarios import get_scenario
 
 from .snapshot import CASES, GOLDEN_DIR, GOLDEN_SCHEMA_VERSION, equilibrium_snapshot, reconstruct
 
@@ -29,6 +33,7 @@ class TestGoldenEquilibria:
         case, golden, _ = golden_pair
         assert golden["schema_version"] == GOLDEN_SCHEMA_VERSION
         assert golden["case"] == case
+        assert golden["scenario"] == case
         assert golden["grid"] == [65, 65]
         assert golden["converged"] is True
 
@@ -36,6 +41,13 @@ class TestGoldenEquilibria:
         _, golden, fresh = golden_pair
         assert fresh["converged"]
         assert abs(fresh["iterations"] - golden["iterations"]) <= 3
+
+    def test_convergence_envelope(self, golden_pair):
+        """The scenario's declared envelope bounds the fresh fit."""
+        case, _, fresh = golden_pair
+        sc = get_scenario(case)
+        assert fresh["iterations"] <= sc.max_iterations
+        assert fresh["chi2"] <= sc.max_chi2
 
     def test_psi_checksums(self, golden_pair):
         _, golden, fresh = golden_pair
@@ -55,7 +67,17 @@ class TestGoldenEquilibria:
         _, golden, fresh = golden_pair
         assert fresh["chi2"] == pytest.approx(golden["chi2"], rel=0.05)
         assert fresh["ip"] == pytest.approx(golden["ip"], rel=1e-3)
-        assert fresh["boundary_type"] == golden["boundary_type"]
         assert abs(
             fresh["plasma_volume_cells"] - golden["plasma_volume_cells"]
         ) <= 5
+
+    def test_topology(self, golden_pair):
+        """Boundary type and X-point count: exact, and as the scenario declares."""
+        case, golden, fresh = golden_pair
+        sc = get_scenario(case)
+        assert fresh["boundary_type"] == golden["boundary_type"] == sc.boundary_type
+        assert (
+            fresh["xpoints_in_limiter"]
+            == golden["xpoints_in_limiter"]
+            == sc.n_xpoints
+        )

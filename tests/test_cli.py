@@ -78,3 +78,10 @@ def test_fit_writes_afile(tmp_path):
 
     a = read_afile(out)
     assert a.converged and a.q95 > 1.0
+
+
+def test_fit_nondefault_scenario(capsys):
+    assert main(["fit", "--scenario", "spherical-torus", "--grid", "33"]) == 0
+    out = capsys.readouterr().out
+    assert "scenario: spherical-torus" in out
+    assert "converged: True" in out

@@ -110,3 +110,50 @@ class TestBenchExitCodes:
         payload = json.loads(capsys.readouterr().out)
         assert payload["schema_version"] == 1
         assert "kernel_dst_solve_65" in payload["benchmarks"]
+
+
+class TestScenarioSelection:
+    """--scenario negative paths: the registry drives the choice list."""
+
+    def test_unknown_fit_scenario_exits_2_with_list(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fit", "--scenario", "no-such-machine"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        # argparse's invalid-choice message enumerates every registered
+        # scenario, so the user sees what IS available.
+        assert "invalid choice" in err
+        for name in ("g186610", "spherical-torus", "double-null", "single-null", "mse"):
+            assert name in err
+
+    def test_unknown_pfleet_scenario_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["pfleet", "--scenario", "no-such-machine"])
+        assert exc.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_pfleet_conflicting_forms_exit_2(self, capsys):
+        code = main(["pfleet", "g186610", "--scenario", "double-null"])
+        assert code == 2
+        assert "conflicting" in capsys.readouterr().err
+
+    def test_pfleet_agreeing_forms_accepted(self, capsys):
+        code = main(
+            ["pfleet", "g186610", "--scenario", "g186610", "--grid", "33",
+             "--slices", "2", "--batch", "2", "--workers", "1"]
+        )
+        assert code == 0
+        assert "pfleet g186610" in capsys.readouterr().out
+
+    def test_pfleet_nondefault_scenario_compare_serial(self, capsys):
+        """A diverted scenario shards across workers and stays
+        bit-identical to the serial engine."""
+        code = main(
+            ["pfleet", "--scenario", "double-null", "--grid", "33",
+             "--slices", "4", "--batch", "2", "--workers", "2",
+             "--compare-serial"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pfleet double-null" in out
+        assert "bit-identical: True" in out
