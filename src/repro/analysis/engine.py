@@ -65,6 +65,10 @@ class AnalysisConfig:
     #: Grid size the registry is instantiated at (byte predictions only;
     #: verdicts are grid-independent for the registered kernels).
     grid: int = 65
+    #: Edge-operator representation the registry prices (``dense`` is the
+    #: paper's Green-table sweep; structured methods swap the boundary
+    #: nests for compressed-byte-count equivalents).
+    boundary_method: str = "dense"
     #: Threshold of the ``excess-traffic`` rule.
     max_traffic_ratio: float = 2.0
     #: Source roots of the hot-path pass, relative to the ``repro``
@@ -239,7 +243,9 @@ def analyze_precision(config: AnalysisConfig | None = None) -> list[Finding]:
     from repro.machines.site import ALL_SITES
 
     config = config if config is not None else AnalysisConfig()
-    registry = build_pflux_registry(config.grid)
+    registry = build_pflux_registry(
+        config.grid, boundary_method=config.boundary_method
+    )
     findings = check_registry_precision(registry, sites=ALL_SITES())
     package_root = Path(repro.__file__).parent
     roots = [package_root / r for r in config.hot_path_roots]
@@ -259,8 +265,15 @@ def analyze_repo(config: AnalysisConfig | None = None) -> AnalysisReport:
     if "directives" in config.families:
         from repro.core.offload import build_pflux_registry, pflux_device_arrays
 
-        registry = build_pflux_registry(config.grid)
-        data_env = frozenset(a.name for a in pflux_device_arrays(config.grid))
+        registry = build_pflux_registry(
+            config.grid, boundary_method=config.boundary_method
+        )
+        data_env = frozenset(
+            a.name
+            for a in pflux_device_arrays(
+                config.grid, boundary_method=config.boundary_method
+            )
+        )
         findings.extend(analyze_registry(registry, data_env=data_env, config=config))
     if "hotpath" in config.families:
         scan = analyze_hot_paths(config)

@@ -46,7 +46,8 @@ from repro.efit.fitting import EfitSolver, FitResult, GridStatics
 from repro.efit.grid import RZGrid
 from repro.efit.machine import Tokamak
 from repro.efit.measurements import MeasurementSet
-from repro.efit.pflux import boundary_flux_operator, edge_flux_operator, edge_node_indices
+from repro.efit.operators import DenseEdgeOperator, EdgeOperator, cached_edge_operator
+from repro.efit.pflux import edge_node_indices
 from repro.errors import FittingError
 from repro.obs.hooks import NULL_HOOKS, ObservationHooks
 from repro.profiling.regions import RegionProfiler
@@ -85,10 +86,17 @@ class BatchFitEngine:
         batch-level spans/events (``pflux_`` regions carry a ``batch``
         attribute; per-slice Picard events come from the solver).
     edge_operator:
-        Optional precomputed edge-flux operator
+        Optional precomputed edge-flux operator: either the dense
+        ``(n_edge, nw*nh)`` matrix
         (:func:`~repro.efit.pflux.edge_flux_operator` of this grid's
-        tables).  The multi-process fleet passes the shared-memory view
-        here so workers skip the dense-operator build entirely.
+        tables) or any ready-made
+        :class:`~repro.efit.operators.EdgeOperator`.  The multi-process
+        fleet passes shared-memory-backed operators here so workers skip
+        the build entirely.
+    boundary_method:
+        Representation to build when ``edge_operator`` is not supplied —
+        one of :data:`repro.efit.operators.EDGE_METHODS` (``"dense"``
+        default; the compressed forms win on 129^2+ grids).
     solver_kwargs:
         Forwarded to the underlying :class:`EfitSolver` (bases, solver
         name, tolerances, ...).
@@ -103,7 +111,8 @@ class BatchFitEngine:
         batch_size: int = 8,
         n_workers: int = 1,
         hooks: ObservationHooks | None = None,
-        edge_operator: np.ndarray | None = None,
+        edge_operator: "np.ndarray | EdgeOperator | None" = None,
+        boundary_method: str = "dense",
         **solver_kwargs,
     ) -> None:
         if batch_size < 1:
@@ -117,16 +126,28 @@ class BatchFitEngine:
         #: response matrices — built once, reused by every worker.
         self.solver = EfitSolver(machine, diagnostics, grid, **solver_kwargs)
         self.statics = GridStatics.build(machine, grid)
-        #: The boundary Green sums factored into one dense operator.
+        #: The boundary Green sums as an :class:`EdgeOperator`.  A raw
+        #: ndarray (the historical contract, still what the fleet's dense
+        #: arenas pass) wraps into the dense form, whose ``apply`` is the
+        #: same GEMM as before — the default path stays bit-identical.
         if edge_operator is not None:
-            expected = (2 * (grid.nw + grid.nh) - 4, grid.size)
-            if edge_operator.shape != expected:
-                raise FittingError(
-                    f"edge_operator shape {edge_operator.shape}, expected {expected}"
-                )
-            self.edge_operator = edge_operator
+            if isinstance(edge_operator, EdgeOperator):
+                if boundary_method != "dense" and edge_operator.method != boundary_method:
+                    raise FittingError(
+                        f"edge_operator method {edge_operator.method!r} != "
+                        f"boundary_method {boundary_method!r}"
+                    )
+                self.edge_op = edge_operator
+            else:
+                expected = (2 * (grid.nw + grid.nh) - 4, grid.size)
+                if edge_operator.shape != expected:
+                    raise FittingError(
+                        f"edge_operator shape {edge_operator.shape}, expected {expected}"
+                    )
+                self.edge_op = DenseEdgeOperator(grid, edge_operator)
         else:
-            self.edge_operator = edge_flux_operator(self.solver.tables)
+            self.edge_op = cached_edge_operator(self.solver.tables, boundary_method)
+        self.boundary_method = self.edge_op.method
         self._edge_i, self._edge_j = edge_node_indices(grid.nw, grid.nh)
         #: ``rhs = rhs_factor * pcurr`` — same association as the serial path.
         self._rhs_factor = -(MU0 / grid.cell_area) * grid.rr
@@ -208,8 +229,9 @@ class BatchFitEngine:
                 np.multiply(pcurr.reshape(grid.size), -1.0, out=pcurr_neg[:, k])
                 np.multiply(self._rhs_factor, pcurr, out=rhs[k])
             with hooks.profiled_region(profiler, "pflux_", batch=nb):
-                # One GEMM for the whole batch's boundary Green sums ...
-                boundary_flux_operator(self.edge_operator, pcurr_neg, out=edge)
+                # One operator apply for the whole batch's boundary Green
+                # sums (a single GEMM on the dense path) ...
+                self.edge_op.apply(pcurr_neg, out=edge)
                 psi_bound[:, self._edge_i, self._edge_j] = edge.T
                 # ... and one multi-RHS sweep for all interior solves.
                 solver.solver.solve_batch(rhs, psi_bound, out=psi_plasma)

@@ -30,7 +30,12 @@ from repro.efit.greens import greens_psi
 from repro.efit.grid import RZGrid
 from repro.efit.machine import Tokamak
 from repro.efit.measurements import MeasurementSet
-from repro.efit.pflux import PfluxBase, PfluxReference, PfluxVectorized
+from repro.efit.pflux import (
+    PfluxBase,
+    PfluxReference,
+    PfluxStructured,
+    PfluxVectorized,
+)
 from repro.efit.profiles import ProfileCoefficients
 from repro.efit.response import assemble_response, chi_squared, solve_weighted_lsq
 from repro.efit.solvers import make_solver
@@ -150,6 +155,13 @@ class EfitSolver:
         — slow, small grids only), or any ready-made
         :class:`~repro.efit.pflux.PfluxBase` instance (the GPU-offloaded
         variants from :mod:`repro.core.offload` plug in here).
+    boundary_method:
+        Edge-flux operator representation for the boundary Green sums:
+        ``"dense"`` (default — the exact historical path), or one of the
+        compressed forms of :data:`repro.efit.operators.EDGE_METHODS`
+        (``"toeplitz"``, ``"lowrank"``, ``"toeplitz-fp32"``,
+        ``"lowrank-fp32"``) that beat the dense GEMM on 129^2+ grids.
+        Mutually exclusive with a non-default ``pflux_impl``.
     profiler:
         Optional :class:`RegionProfiler`; regions ``steps_``, ``current_``,
         ``green_``, ``pflux_`` and ``other`` accumulate per ``fit_``
@@ -172,6 +184,7 @@ class EfitSolver:
         ffp_basis: PolynomialBasis | None = None,
         solver_name: str = "dst",
         pflux_impl: str | PfluxBase = "vectorized",
+        boundary_method: str = "dense",
         tol: float = 1e-5,
         max_iters: int = 100,
         relax: float = 1.0,
@@ -216,7 +229,24 @@ class EfitSolver:
         # --- one-time green_ setup -------------------------------------------
         self.tables = cached_boundary_tables(grid)
         self.solver = make_solver(solver_name, grid)
-        if isinstance(pflux_impl, PfluxBase):
+        self.boundary_method = boundary_method
+        if boundary_method != "dense":
+            # The default keeps the historical PfluxVectorized path so
+            # golden artifacts stay bit-identical; structured methods
+            # route the boundary sums through a compressed operator.
+            if isinstance(pflux_impl, PfluxBase) or pflux_impl != "vectorized":
+                raise FittingError(
+                    "pass either pflux_impl or boundary_method, not both"
+                )
+            from repro.efit.operators import cached_edge_operator
+
+            self.pflux = PfluxStructured(
+                grid,
+                self.tables,
+                self.solver,
+                cached_edge_operator(self.tables, boundary_method),
+            )
+        elif isinstance(pflux_impl, PfluxBase):
             self.pflux = pflux_impl
         elif pflux_impl == "vectorized":
             self.pflux = PfluxVectorized(grid, self.tables, self.solver)

@@ -10,6 +10,7 @@ kernel implementations can be compared line-by-line against the paper.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -120,6 +121,21 @@ class RZGrid:
         if not (0 <= i < self.nw and 0 <= j < self.nh):
             raise GridError(f"node ({i}, {j}) outside {self.nw}x{self.nh} grid")
         return i * self.nh + j
+
+    def geometry_hash(self) -> str:
+        """Stable hex fingerprint of the grid geometry.
+
+        Two grids share a hash iff they share mesh counts and domain
+        extents — exactly the condition under which Green tables and
+        edge operators are interchangeable.  Used as the content
+        identity of shared-memory arenas and on-disk table caches
+        (including the CI ``actions/cache`` key).
+        """
+        blob = (
+            f"rzgrid-v1:{self.nw}:{self.nh}:"
+            f"{self.rmin!r}:{self.rmax!r}:{self.zmin!r}:{self.zmax!r}"
+        )
+        return hashlib.sha256(blob.encode("ascii")).hexdigest()[:16]
 
     # -- boundary bookkeeping -------------------------------------------------
     @cached_property

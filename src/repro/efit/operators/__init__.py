@@ -1,0 +1,44 @@
+"""Structured operators on the computational grid.
+
+Two families live here:
+
+* :mod:`repro.efit.operators.gs` — the finite-difference Grad-Shafranov
+  ``Delta*`` stencil (matrix-free apply, assembled interior matrix,
+  Dirichlet corrections).
+* :mod:`repro.efit.operators.edge` — representations of the dense
+  edge-flux operator of :func:`repro.efit.pflux.edge_flux_operator`:
+  the exact dense matrix, a block-Toeplitz/FFT apply, a truncated-SVD
+  low-rank apply, and fp32-with-fp64-refinement variants, all behind
+  the common :class:`EdgeOperator` protocol selected by the solvers'
+  ``boundary_method`` kwarg.
+"""
+
+from repro.efit.operators.edge import (
+    EDGE_METHODS,
+    DenseEdgeOperator,
+    EdgeOperator,
+    LowRankEdgeOperator,
+    ToeplitzFFTEdgeOperator,
+    build_edge_operator,
+    cached_edge_operator,
+    drop_edge_operator,
+    edge_operator_from_arrays,
+    seed_edge_operator,
+    validate_edge_structure,
+)
+from repro.efit.operators.gs import GradShafranovOperator
+
+__all__ = [
+    "GradShafranovOperator",
+    "EdgeOperator",
+    "EDGE_METHODS",
+    "DenseEdgeOperator",
+    "ToeplitzFFTEdgeOperator",
+    "LowRankEdgeOperator",
+    "build_edge_operator",
+    "cached_edge_operator",
+    "seed_edge_operator",
+    "drop_edge_operator",
+    "edge_operator_from_arrays",
+    "validate_edge_structure",
+]

@@ -51,6 +51,7 @@ __all__ = [
     "PfluxReference",
     "PfluxVectorized",
     "PfluxOperator",
+    "PfluxStructured",
 ]
 
 
@@ -307,5 +308,29 @@ class PfluxOperator(PfluxBase):
         psi = np.zeros(self.grid.shape)
         psi[self._edge_i, self._edge_j] = boundary_flux_operator(
             self.operator, pcurr.reshape(self.grid.size)
+        )
+        return psi
+
+
+class PfluxStructured(PfluxBase):
+    """``pflux_`` with a structured edge operator (``boundary_method``).
+
+    Same contract as :class:`PfluxOperator` but the boundary sums run
+    through any :class:`~repro.efit.operators.EdgeOperator` — the
+    FFT/Toeplitz or low-rank compressed forms that beat the dense GEMM
+    on large grids (see :mod:`repro.efit.operators.edge`).
+    """
+
+    def __init__(self, grid, tables, solver, operator) -> None:
+        super().__init__(grid, tables, solver)
+        if operator.grid.shape != grid.shape:
+            raise GridError("edge operator built for a different grid")
+        self.operator = operator
+        self._edge_i, self._edge_j = edge_node_indices(grid.nw, grid.nh)
+
+    def _boundary_flux(self, pcurr: np.ndarray) -> np.ndarray:
+        psi = np.zeros(self.grid.shape)
+        psi[self._edge_i, self._edge_j] = self.operator.apply(
+            pcurr.reshape(self.grid.size)
         )
         return psi

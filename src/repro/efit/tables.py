@@ -172,14 +172,24 @@ class BoundaryTableCache:
         return len(self._entries)
 
     def get(self, grid: RZGrid) -> BoundaryGreensTables:
-        """Return the cached tables for ``grid``, building on first use."""
+        """Return the cached tables for ``grid``, building on first use.
+
+        A miss consults the optional on-disk layer
+        (:mod:`repro.efit.diskcache`, ``REPRO_TABLE_CACHE_DIR``) before
+        paying the O(N^3) build, and publishes a fresh build back to it.
+        """
         key = self._key(grid)
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
             self.counters.record_hit()
             return entry
-        tables = build_boundary_tables(grid)
+        from repro.efit import diskcache
+
+        tables = diskcache.load_tables(grid)
+        if tables is None:
+            tables = build_boundary_tables(grid)
+            diskcache.store_tables(tables)
         self.counters.record_miss(tables.nbytes)
         self._entries[key] = tables
         self._shrink()

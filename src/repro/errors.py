@@ -17,6 +17,8 @@ __all__ = [
     "FittingError",
     "MeasurementError",
     "ScenarioError",
+    "OperatorError",
+    "OperatorStructureError",
     "DirectiveError",
     "DirectiveParseError",
     "TranslationError",
@@ -72,6 +74,17 @@ class MeasurementError(ReproError):
 
 class ScenarioError(ReproError):
     """Unknown scenario name or invalid scenario declaration."""
+
+
+class OperatorError(ReproError):
+    """Edge-operator construction or application failure (unknown
+    ``boundary_method``, malformed serialized arrays, shape mismatch)."""
+
+
+class OperatorStructureError(OperatorError):
+    """The Green table violates the structural assumption a compressed
+    edge operator relies on (z-translation invariance of ``gridpc``);
+    callers must fall back to ``boundary_method='dense'``."""
 
 
 class DirectiveError(ReproError):
@@ -158,7 +171,17 @@ class ObservabilityError(ReproError):
 
 class BenchGateError(ObservabilityError):
     """Benchmark-gate failure that is not a regression: missing or
-    malformed baseline file, unknown benchmark names."""
+    malformed baseline file, unknown benchmark names.
+
+    ``outcomes`` carries any per-case verdicts computed before the
+    failure was detected, so the CLI can still print the ratio table on
+    the exit-2 path (an empty tuple when the failure preceded
+    evaluation, e.g. an unreadable baseline).
+    """
+
+    def __init__(self, message: str, *, outcomes: tuple = ()) -> None:
+        super().__init__(message)
+        self.outcomes = tuple(outcomes)
 
 
 class ParallelError(ReproError):

@@ -33,10 +33,12 @@ __all__ = [
     "DEFAULT_BASELINE_NAME",
     "DEFAULT_TOLERANCE",
     "HANDICAP_ENV",
+    "LARGE_ENV",
     "BenchCase",
     "BenchResult",
     "GateOutcome",
     "bench_cases",
+    "large_case_names",
     "run_benchmarks",
     "results_payload",
     "save_baseline",
@@ -58,6 +60,13 @@ DEFAULT_TOLERANCE = 0.5
 #: synthetic-slowdown hook the gate's own tests use.
 HANDICAP_ENV = "REPRO_BENCH_HANDICAP"
 
+#: Environment variable opting the *default* run into the large
+#: (129^2 / 257^2) cases.  Naming them explicitly with ``--only`` always
+#: works — the flag only changes what an unqualified run covers, so the
+#: quick per-commit lane and a local ``repro bench`` stay fast while the
+#: ``bench-gate-large`` CI lane sets it (or passes the names).
+LARGE_ENV = "REPRO_BENCH_LARGE"
+
 
 @dataclass(frozen=True)
 class BenchCase:
@@ -70,6 +79,9 @@ class BenchCase:
     setup: Callable[[], Callable[[], object]]
     #: Inner repetitions per timed sample (for sub-ms payloads).
     inner_loops: int = 1
+    #: Large-grid case: excluded from the default run unless
+    #: :data:`LARGE_ENV` is set or the name is given explicitly.
+    large: bool = False
 
 
 @dataclass(frozen=True)
@@ -189,6 +201,45 @@ def _setup_kernel_dst_solve_65() -> Callable[[], object]:
     return lambda: solver.solve(rhs, boundary)
 
 
+def _setup_fit_129() -> Callable[[], object]:
+    from repro.efit.fitting import EfitSolver
+    from repro.efit.measurements import synthetic_shot_186610
+
+    shot = synthetic_shot_186610(129)
+    solver = EfitSolver(shot.machine, shot.diagnostics, shot.grid)
+    solver.fit(shot.measurements)  # warm the table cache + BLAS
+    return lambda: solver.fit(shot.measurements)
+
+
+def _setup_batch_129_b8() -> Callable[[], object]:
+    from repro.batch import BatchFitEngine, synthetic_slice_sequence
+    from repro.efit.measurements import synthetic_shot_186610
+
+    shot = synthetic_shot_186610(129)
+    slices = synthetic_slice_sequence(shot, 8, seed=3)
+    engine = BatchFitEngine(shot.machine, shot.diagnostics, shot.grid, batch_size=8)
+    engine.fit_many(slices)  # warm the workspace arenas
+    return lambda: engine.fit_many(slices)
+
+
+def _setup_kernel_boundary_257() -> Callable[[], object]:
+    # The structured (low-rank) edge-operator apply at the grid size
+    # where operator compression pays: the dense GEMM reads 541 MB per
+    # apply here, the compressed apply ~31 MB.  Gating the compressed
+    # path keeps the >=5x advantage over dense from silently eroding.
+    import numpy as np
+
+    from repro.efit.grid import RZGrid
+    from repro.efit.operators import cached_edge_operator
+    from repro.efit.tables import cached_boundary_tables
+
+    grid = RZGrid(257, 257)
+    op = cached_edge_operator(cached_boundary_tables(grid), "lowrank")
+    pcurr = np.random.default_rng(1).normal(size=grid.size)
+    op.apply(pcurr)  # warm
+    return lambda: op.apply(pcurr)
+
+
 _CASES: tuple[BenchCase, ...] = (
     BenchCase("fit_65", "fit", _setup_fit_65),
     BenchCase("fit_dn_33", "fit", _setup_fit_dn_33),
@@ -196,6 +247,12 @@ _CASES: tuple[BenchCase, ...] = (
     BenchCase("parallel_65_w4", "parallel", _setup_parallel_65_w4),
     BenchCase("kernel_boundary_65", "kernels", _setup_kernel_boundary_65, inner_loops=20),
     BenchCase("kernel_dst_solve_65", "kernels", _setup_kernel_dst_solve_65, inner_loops=20),
+    BenchCase("fit_129", "fit", _setup_fit_129, large=True),
+    BenchCase("batch_129_b8", "batch", _setup_batch_129_b8, large=True),
+    BenchCase(
+        "kernel_boundary_257", "kernels", _setup_kernel_boundary_257,
+        inner_loops=5, large=True,
+    ),
 )
 
 
@@ -204,9 +261,16 @@ def bench_cases() -> tuple[BenchCase, ...]:
     return _CASES
 
 
+def large_case_names() -> tuple[str, ...]:
+    """Names of the large-grid cases (the ``bench-gate-large`` set)."""
+    return tuple(case.name for case in _CASES if case.large)
+
+
 def _resolve(names: Iterable[str] | None) -> tuple[BenchCase, ...]:
     if names is None:
-        return _CASES
+        if os.environ.get(LARGE_ENV, "").strip() not in ("", "0"):
+            return _CASES
+        return tuple(case for case in _CASES if not case.large)
     by_name = {case.name: case for case in _CASES}
     missing = [n for n in names if n not in by_name]
     if missing:
@@ -310,25 +374,39 @@ def evaluate_gate(
     baseline: Mapping,
     *,
     tolerance: float | None = None,
+    names: Iterable[str] | None = None,
 ) -> tuple[list[GateOutcome], bool]:
     """Compare current medians to the baseline.
 
-    Every baseline entry must be present in ``current`` (a silently
-    dropped benchmark would otherwise pass the gate forever).  Benchmarks
-    present only in ``current`` are ignored — they gate once committed.
+    ``names`` restricts the gate to that subset of baseline entries (the
+    ``--only`` / split-lane form: the quick lane gates the small cases,
+    ``bench-gate-large`` gates the 129^2/257^2 cases — each against the
+    same committed baseline).  With ``names=None`` every baseline entry
+    must be present in ``current`` (a silently dropped benchmark would
+    otherwise pass the gate forever).  Benchmarks present only in
+    ``current`` are ignored — they gate once committed.
+
+    A missing-coverage failure raises :class:`BenchGateError` carrying
+    the outcomes evaluated up to that point, so callers can still print
+    the partial ratio table.
     """
     if tolerance is None:
         tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
     if tolerance < 0.0:
         raise BenchGateError(f"tolerance must be >= 0, got {tolerance}")
+    entries = baseline["benchmarks"]
+    if names is not None:
+        selected = tuple(dict.fromkeys(names))
+        entries = {n: entries[n] for n in selected if n in entries}
     outcomes: list[GateOutcome] = []
     all_ok = True
-    for name, entry in baseline["benchmarks"].items():
+    for name, entry in entries.items():
         base = float(entry["median_seconds"])
         if name not in current:
             raise BenchGateError(
                 f"baseline benchmark {name!r} was not run — gate cannot pass "
-                "with missing coverage"
+                "with missing coverage",
+                outcomes=tuple(outcomes),
             )
         cur = current[name].median_seconds
         limit = base * (1.0 + tolerance)

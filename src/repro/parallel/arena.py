@@ -39,7 +39,12 @@ from multiprocessing import resource_tracker, shared_memory
 import numpy as np
 
 from repro.efit.grid import RZGrid
-from repro.efit.pflux import edge_flux_operator
+from repro.efit.operators import (
+    DenseEdgeOperator,
+    EdgeOperator,
+    cached_edge_operator,
+    edge_operator_from_arrays,
+)
 from repro.efit.tables import BoundaryGreensTables, cached_boundary_tables
 from repro.errors import ArenaError
 
@@ -89,6 +94,13 @@ class ArenaSpec:
     grid_zmin: float
     grid_zmax: float
     segments: tuple[ArenaSegment, ...]
+    #: Edge-operator representation stored in the arena (one of
+    #: :data:`repro.efit.operators.EDGE_METHODS`).
+    boundary_method: str = "dense"
+    #: Content identity — grid hash + method + rank/precision tag — so
+    #: two processes can tell at a glance whether their arenas are
+    #: interchangeable (the distributed-fleet transport will key on it).
+    content_key: str = ""
 
     def grid(self) -> RZGrid:
         return RZGrid(
@@ -114,6 +126,23 @@ def _view(shm: shared_memory.SharedMemory, seg: ArenaSegment) -> np.ndarray:
     )
     arr.flags.writeable = False
     return arr
+
+
+def _shared_edge_operator(
+    shm: shared_memory.SharedMemory, spec: ArenaSpec
+) -> EdgeOperator:
+    """Rebuild the arena's edge operator over its shared segments."""
+    grid = spec.grid()
+    if spec.boundary_method == "dense":
+        return DenseEdgeOperator(grid, _view(shm, spec.segment("edge_operator")))
+    arrays = {
+        seg.name[3:]: _view(shm, seg)
+        for seg in spec.segments
+        if seg.name.startswith("op_")
+    }
+    return edge_operator_from_arrays(
+        grid, spec.boundary_method, arrays, gpc=_view(shm, spec.segment("gpc"))
+    )
 
 
 _NAME_SEQ = 0
@@ -144,12 +173,25 @@ class TableArena:
         self._unlinked = False
 
     @classmethod
-    def build(cls, grid: RZGrid) -> "TableArena":
-        """Copy the (cached) boundary tables + edge operator into shm."""
+    def build(cls, grid: RZGrid, boundary_method: str = "dense") -> "TableArena":
+        """Copy the (cached) boundary tables + edge operator into shm.
+
+        ``boundary_method`` picks the operator representation shared with
+        the workers: the dense matrix (historical layout, segment name
+        ``edge_operator``) or a compressed form whose
+        :meth:`~repro.efit.operators.EdgeOperator.to_arrays` segments are
+        stored under ``op_*`` names — at 257x257 a ``lowrank`` arena is
+        ~510 MB smaller per *fleet* (the pages are shared either way, but
+        the build, the copy and the cache pressure all shrink).
+        """
         tables = cached_boundary_tables(grid)
-        edge_op = edge_flux_operator(tables)
-        arrays = {"gpc": np.ascontiguousarray(tables.gpc),
-                  "edge_operator": np.ascontiguousarray(edge_op)}
+        op = cached_edge_operator(tables, boundary_method)
+        arrays = {"gpc": np.ascontiguousarray(tables.gpc)}
+        if boundary_method == "dense":
+            arrays["edge_operator"] = np.ascontiguousarray(op.matrix)
+        else:
+            for name, arr in op.to_arrays().items():
+                arrays[f"op_{name}"] = np.ascontiguousarray(arr)
         segments: list[ArenaSegment] = []
         offset = 0
         for name, arr in arrays.items():
@@ -178,6 +220,8 @@ class TableArena:
             grid_zmin=grid.zmin,
             grid_zmax=grid.zmax,
             segments=tuple(segments),
+            boundary_method=boundary_method,
+            content_key=op.content_key,
         )
         arena = cls(shm, spec)
         for seg in segments:
@@ -213,8 +257,15 @@ class TableArena:
         )
 
     def edge_operator(self) -> np.ndarray:
+        """The dense matrix view (dense arenas only — structured arenas
+        have no ``edge_operator`` segment and this raises)."""
         self._require_mapped()
         return _view(self._shm, self.spec.segment("edge_operator"))
+
+    def edge_op(self) -> EdgeOperator:
+        """The arena's edge operator, whatever its representation."""
+        self._require_mapped()
+        return _shared_edge_operator(self._shm, self.spec)
 
     def unlink(self) -> None:
         """Close and remove the segment (idempotent; parent-side only)."""
@@ -272,8 +323,14 @@ class AttachedArena:
         )
 
     def edge_operator(self) -> np.ndarray:
+        """The dense matrix view (dense arenas only)."""
         self._require_open()
         return _view(self._shm, self.spec.segment("edge_operator"))
+
+    def edge_op(self) -> EdgeOperator:
+        """The arena's edge operator, whatever its representation."""
+        self._require_open()
+        return _shared_edge_operator(self._shm, self.spec)
 
     def close(self) -> None:
         """Unmap the attachment (idempotent)."""
@@ -289,13 +346,15 @@ def attach_arena(spec: ArenaSpec) -> AttachedArena:
 
 
 class ArenaManager:
-    """Reference-counted registry of arenas, keyed by grid geometry.
+    """Reference-counted registry of arenas, keyed by content identity.
 
-    ``acquire`` builds the arena on first use and bumps the refcount on
-    every later call with the same grid; ``release`` unlinks at zero.
-    One manager per parent process (see :func:`arena_manager`) means two
-    :class:`~repro.parallel.engine.ParallelFitEngine` instances on the
-    same grid share one physical copy of the tables.
+    The key is grid geometry *plus* edge-operator method: a ``dense``
+    and a ``lowrank`` fleet on the same grid hold different operator
+    bytes, so they get distinct arenas; two fleets with the same grid
+    and method share one.  ``acquire`` builds the arena on first use and
+    bumps the refcount on every later call with the same identity;
+    ``release`` unlinks at zero.  One manager per parent process (see
+    :func:`arena_manager`).
     """
 
     def __init__(self) -> None:
@@ -304,22 +363,22 @@ class ArenaManager:
         self._lock = threading.Lock()
 
     @staticmethod
-    def _key(grid: RZGrid) -> tuple:
-        return (grid.nw, grid.nh, grid.rmin, grid.rmax, grid.zmin, grid.zmax)
+    def _key(grid: RZGrid, boundary_method: str = "dense") -> tuple:
+        return (grid.geometry_hash(), boundary_method)
 
-    def acquire(self, grid: RZGrid) -> TableArena:
-        key = self._key(grid)
+    def acquire(self, grid: RZGrid, boundary_method: str = "dense") -> TableArena:
+        key = self._key(grid, boundary_method)
         with self._lock:
             arena = self._arenas.get(key)
             if arena is None:
-                arena = TableArena.build(grid)
+                arena = TableArena.build(grid, boundary_method)
                 self._arenas[key] = arena
                 self._refs[key] = 0
             self._refs[key] += 1
             return arena
 
-    def release(self, grid: RZGrid) -> None:
-        key = self._key(grid)
+    def release(self, grid: RZGrid, boundary_method: str = "dense") -> None:
+        key = self._key(grid, boundary_method)
         with self._lock:
             if key not in self._refs:
                 raise ArenaError("release() of an arena that was never acquired")
@@ -328,9 +387,9 @@ class ArenaManager:
                 self._arenas.pop(key).unlink()
                 del self._refs[key]
 
-    def refcount(self, grid: RZGrid) -> int:
+    def refcount(self, grid: RZGrid, boundary_method: str = "dense") -> int:
         with self._lock:
-            return self._refs.get(self._key(grid), 0)
+            return self._refs.get(self._key(grid, boundary_method), 0)
 
     def __len__(self) -> int:
         with self._lock:

@@ -44,6 +44,7 @@ from repro.efit.diagnostics import DiagnosticSet
 from repro.efit.fitting import FitResult
 from repro.efit.grid import RZGrid
 from repro.efit.machine import Tokamak
+from repro.efit.operators import drop_edge_operator, seed_edge_operator
 from repro.efit.tables import boundary_table_cache
 from repro.errors import FittingError, JobQuarantinedError
 from repro.obs.hooks import NULL_HOOKS, ObservationHooks, TraceHooks
@@ -95,13 +96,18 @@ def _init_fit_worker(
     # Every later cached_boundary_tables(grid) in this process — including
     # the engine's own — now resolves to the shared pages.
     boundary_table_cache().seed(tables)
+    op = arena.edge_op()
+    # Same story for the edge-operator cache: content identity (grid hash
+    # + method + rank/precision tag) means any later cached_edge_operator
+    # call with this method reuses the shared pages instead of rebuilding.
+    seed_edge_operator(op)
     engine = BatchFitEngine(
         machine,
         diagnostics,
         spec.grid(),
         batch_size=batch_size,
         hooks=ctx.hooks,
-        edge_operator=arena.edge_operator(),
+        edge_operator=op,
         **solver_kwargs,
     )
     ctx.metrics.register_source(
@@ -136,6 +142,7 @@ class ParallelFitEngine:
         *,
         batch_size: int = 8,
         workers: int = 2,
+        boundary_method: str = "dense",
         hooks: ObservationHooks | None = None,
         config: SchedulerConfig | None = None,
         **solver_kwargs,
@@ -145,6 +152,7 @@ class ParallelFitEngine:
         self.batch_size = batch_size
         self.hooks = hooks if hooks is not None else NULL_HOOKS
         self.grid = grid
+        self.boundary_method = boundary_method
         if config is None:
             config = SchedulerConfig(workers=workers)
         elif config.workers != workers and workers != 2:
@@ -153,7 +161,7 @@ class ParallelFitEngine:
             )
         self.config = config
         self._manager = arena_manager()
-        self.arena = self._manager.acquire(grid)
+        self.arena = self._manager.acquire(grid, boundary_method)
         self._released = False
         self.scheduler = ProcessScheduler(
             _init_fit_worker,
@@ -197,10 +205,11 @@ class ParallelFitEngine:
             self._released = True
             if self.config.transport == "inline":
                 # Inline workers ran _init_fit_worker in *this* process and
-                # seeded the process-global table cache with views over the
+                # seeded the process-global caches with views over the
                 # arena's pages.  Those views must not outlive the mapping.
                 boundary_table_cache().drop(self.grid)
-            self._manager.release(self.grid)
+                drop_edge_operator(self.grid, self.boundary_method)
+            self._manager.release(self.grid, self.boundary_method)
 
     def __enter__(self) -> "ParallelFitEngine":
         return self

@@ -1,0 +1,123 @@
+"""BatchFitEngine boundary_method / edge_operator plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchFitEngine, synthetic_slice_sequence
+from repro.efit.operators import cached_edge_operator
+from repro.efit.tables import cached_boundary_tables
+from repro.errors import FittingError, OperatorError
+
+
+@pytest.fixture(scope="module")
+def slices4(shot33):
+    return synthetic_slice_sequence(shot33, 4, seed=11)
+
+
+@pytest.fixture(scope="module")
+def dense_batch(shot33, slices4):
+    engine = BatchFitEngine(
+        shot33.machine, shot33.diagnostics, shot33.grid, batch_size=2
+    )
+    return engine.fit_many(slices4)
+
+
+def _rel_dev(dense_batch, batch):
+    worst = 0.0
+    for a, b in zip(dense_batch.results, batch.results):
+        scale = np.max(np.abs(a.psi))
+        worst = max(worst, np.max(np.abs(a.psi - b.psi)) / scale)
+    return worst
+
+
+class TestBoundaryMethodKwarg:
+    def test_default_is_dense(self, shot33):
+        engine = BatchFitEngine(shot33.machine, shot33.diagnostics, shot33.grid)
+        assert engine.boundary_method == "dense"
+        assert engine.edge_op.method == "dense"
+
+    @pytest.mark.parametrize("method,bound", [("lowrank", 1e-10), ("toeplitz", 1e-10)])
+    def test_fp64_methods_track_dense(self, shot33, slices4, dense_batch, method, bound):
+        engine = BatchFitEngine(
+            shot33.machine,
+            shot33.diagnostics,
+            shot33.grid,
+            batch_size=2,
+            boundary_method=method,
+        )
+        batch = engine.fit_many(slices4)
+        assert engine.boundary_method == method
+        assert _rel_dev(dense_batch, batch) <= bound
+
+    def test_fp32_refined_within_loose_bound(self, shot33, slices4, dense_batch):
+        engine = BatchFitEngine(
+            shot33.machine,
+            shot33.diagnostics,
+            shot33.grid,
+            batch_size=2,
+            boundary_method="lowrank-fp32",
+        )
+        assert _rel_dev(dense_batch, engine.fit_many(slices4)) <= 1e-5
+
+    def test_unknown_method_rejected(self, shot33):
+        with pytest.raises(OperatorError, match="dense"):
+            BatchFitEngine(
+                shot33.machine,
+                shot33.diagnostics,
+                shot33.grid,
+                boundary_method="butterfly",
+            )
+
+
+class TestEdgeOperatorInstance:
+    def test_prebuilt_operator_accepted(self, shot33, slices4, dense_batch):
+        """Fleet workers inject the shared-arena operator this way."""
+        op = cached_edge_operator(cached_boundary_tables(shot33.grid), "lowrank")
+        engine = BatchFitEngine(
+            shot33.machine,
+            shot33.diagnostics,
+            shot33.grid,
+            batch_size=2,
+            edge_operator=op,
+            boundary_method="lowrank",
+        )
+        assert engine.edge_op is op
+        assert _rel_dev(dense_batch, engine.fit_many(slices4)) <= 1e-10
+
+    def test_method_mismatch_rejected(self, shot33):
+        op = cached_edge_operator(cached_boundary_tables(shot33.grid), "lowrank")
+        with pytest.raises(FittingError, match="boundary_method"):
+            BatchFitEngine(
+                shot33.machine,
+                shot33.diagnostics,
+                shot33.grid,
+                edge_operator=op,
+                boundary_method="toeplitz",
+            )
+
+    def test_raw_ndarray_back_compat(self, shot33, slices4, dense_batch):
+        """Pre-operator callers passed the dense matrix; still bit-exact."""
+        tables = cached_boundary_tables(shot33.grid)
+        matrix = cached_edge_operator(tables, "dense").to_arrays()["matrix"]
+        engine = BatchFitEngine(
+            shot33.machine,
+            shot33.diagnostics,
+            shot33.grid,
+            batch_size=2,
+            edge_operator=np.array(matrix),
+        )
+        assert engine.boundary_method == "dense"
+        batch = engine.fit_many(slices4)
+        for a, b in zip(dense_batch.results, batch.results):
+            np.testing.assert_array_equal(a.psi, b.psi)
+
+    def test_wrong_shape_ndarray_rejected(self, shot33):
+        with pytest.raises(FittingError, match="shape"):
+            BatchFitEngine(
+                shot33.machine,
+                shot33.diagnostics,
+                shot33.grid,
+                edge_operator=np.zeros((3, 3)),
+            )

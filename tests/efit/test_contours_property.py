@@ -53,7 +53,14 @@ perturbations = {
 class TestLimitedPlasma:
     """A clearly limited Solov'ev plasma stays limited."""
 
-    @given(amp=st.floats(min_value=-0.02, max_value=0.02), **perturbations)
+    # Classification stability has a real threshold: in the weak-field
+    # gap between the plasma edge and the wall, a standing wave can
+    # create a *genuine* saddle whose flux beats the limiter-contact
+    # flux, at which point "xpoint" is the correct answer, not a bug.
+    # Measured over a dense kr/kz/phase sweep at 33^2 the first such
+    # flip appears at amp = 0.01 (kr = kz = 3); the property only
+    # holds below it, so drive amplitudes to 0.008.
+    @given(amp=st.floats(min_value=-0.008, max_value=0.008), **perturbations)
     @settings(max_examples=40, deadline=None)
     def test_classification_stable(self, amp, kr, kz, phase_r, phase_z):
         psi = PSI_SOLOVEV + SPAN * smooth_perturbation(

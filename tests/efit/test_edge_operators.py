@@ -1,0 +1,326 @@
+"""Structured edge-flux operators: accuracy bounds, structure pinning,
+serialization, caching and solver integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.efit.fitting import EfitSolver
+from repro.efit.grid import RZGrid
+from repro.efit.operators import (
+    EDGE_METHODS,
+    DenseEdgeOperator,
+    EdgeOperator,
+    LowRankEdgeOperator,
+    ToeplitzFFTEdgeOperator,
+    build_edge_operator,
+    cached_edge_operator,
+    drop_edge_operator,
+    edge_operator_from_arrays,
+    seed_edge_operator,
+    validate_edge_structure,
+)
+from repro.efit.pflux import boundary_flux_operator, edge_flux_operator
+from repro.efit.tables import BoundaryGreensTables, cached_boundary_tables
+from repro.errors import FittingError, OperatorError, OperatorStructureError
+
+STRUCTURED = tuple(m for m in EDGE_METHODS if m != "dense")
+
+
+@pytest.fixture(scope="module")
+def tables33():
+    return cached_boundary_tables(RZGrid(33, 33))
+
+
+@pytest.fixture(scope="module")
+def dense33(tables33):
+    return build_edge_operator(tables33, "dense")
+
+
+def _probe(grid: RZGrid, n: int = 3, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(grid.size, n))
+
+
+# -- accuracy vs the dense ground truth --------------------------------------------
+class TestAccuracy:
+    @pytest.mark.parametrize("method", STRUCTURED)
+    def test_matches_dense_33(self, tables33, dense33, method):
+        op = build_edge_operator(tables33, method)
+        x = _probe(tables33.grid)
+        ref = dense33.apply(x)
+        rel = np.max(np.abs(op.apply(x) - ref)) / np.max(np.abs(ref))
+        bound = 1e-5 if method.endswith("-fp32") else 1e-10
+        assert rel <= bound, f"{method}: rel error {rel:.3e} > {bound}"
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        nw=st.integers(min_value=9, max_value=21),
+        nh=st.integers(min_value=9, max_value=21),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_property_error_bounds(self, nw, nh, seed):
+        """The PR's property-tested bounds: on arbitrary (incl. non-square)
+        grids, fp64 structured applies stay within 1e-10 of dense and the
+        fp32+refinement variants within 1e-5, relative to the result scale."""
+        grid = RZGrid(nw, nh)
+        tables = cached_boundary_tables(grid)
+        dense = build_edge_operator(tables, "dense")
+        x = np.random.default_rng(seed).normal(size=grid.size)
+        ref = dense.apply(x)
+        scale = np.max(np.abs(ref))
+        for method in STRUCTURED:
+            op = build_edge_operator(tables, method)
+            rel = np.max(np.abs(op.apply(x) - ref)) / scale
+            bound = 1e-5 if method.endswith("-fp32") else 1e-10
+            assert rel <= bound, f"{method}@{nw}x{nh}: {rel:.3e} > {bound}"
+
+    def test_error_bound_hook(self, tables33):
+        op = build_edge_operator(tables33, "lowrank")
+        assert op.error_bound(1.0) >= 0.0
+
+    @pytest.mark.parametrize("method", STRUCTURED)
+    def test_batched_apply_and_out(self, tables33, dense33, method):
+        op = build_edge_operator(tables33, method)
+        x = _probe(tables33.grid, n=5, seed=2)
+        batched = op.apply(x)
+        assert batched.shape == (op.n_edge, 5)
+        # Not bitwise: GEMM/FFT reduction order depends on operand shapes.
+        cols = np.stack([op.apply(x[:, k]) for k in range(5)], axis=1)
+        rel = np.max(np.abs(batched - cols)) / np.max(np.abs(batched))
+        assert rel < (1e-6 if method.endswith("-fp32") else 1e-12)
+        out = np.empty(op.n_edge)
+        res = op.apply(x[:, 0], out=out)
+        assert res is out
+
+
+# -- the dense default stays the ground truth --------------------------------------
+class TestDenseDefault:
+    def test_bit_identical_to_legacy_operator(self, tables33, dense33):
+        x = _probe(tables33.grid, n=1)[:, 0]
+        legacy = boundary_flux_operator(edge_flux_operator(tables33), x)
+        np.testing.assert_array_equal(dense33.apply(x), legacy)
+
+    def test_from_tables_matrix_identical(self, tables33, dense33):
+        np.testing.assert_array_equal(
+            dense33.to_arrays()["matrix"], edge_flux_operator(tables33)
+        )
+
+    def test_rejects_wrong_shapes(self, tables33, dense33):
+        from repro.errors import GridError
+
+        with pytest.raises(GridError):
+            dense33.apply(np.zeros(7))
+        with pytest.raises(GridError):
+            dense33.apply(
+                np.zeros(dense33.n_grid), out=np.zeros(dense33.n_edge + 1)
+            )
+
+
+# -- structure pinning -------------------------------------------------------------
+class TestStructurePin:
+    def test_translation_invariance_holds(self, tables33):
+        assert validate_edge_structure(tables33) < 1e-9
+
+    def test_tampered_table_fails_loudly_naming_dense(self, tables33):
+        """The pin test the ISSUE requires: break gridpc's z-translation
+        invariance and the structured build must refuse, telling the user
+        the dense path is the fallback."""
+        gpc = tables33.gpc.copy()
+        gpc[5] *= 1.01  # boundary column 5 no longer matches greens_psi
+        bad = BoundaryGreensTables(grid=tables33.grid, gpc=gpc)
+        with pytest.raises(OperatorStructureError, match="dense"):
+            validate_edge_structure(bad, samples=4096, seed=1)
+
+    def test_structured_build_runs_validation(self, tables33):
+        gpc = tables33.gpc.copy()
+        gpc[0] += 1e-3
+        bad = BoundaryGreensTables(grid=tables33.grid, gpc=gpc)
+        with pytest.raises(OperatorStructureError):
+            build_edge_operator(bad, "toeplitz")
+        # validate=False skips the check (the trusted fleet-worker path).
+        op = build_edge_operator(bad, "toeplitz", validate=False)
+        assert isinstance(op, ToeplitzFFTEdgeOperator)
+
+    def test_unknown_method_lists_choices(self, tables33):
+        with pytest.raises(OperatorError, match="dense"):
+            build_edge_operator(tables33, "fourier")
+
+
+# -- serialization -----------------------------------------------------------------
+class TestSerialization:
+    @pytest.mark.parametrize("method", STRUCTURED)
+    def test_roundtrip_bitwise(self, tables33, method):
+        op = build_edge_operator(tables33, method)
+        arrays = op.to_arrays()
+        clone = edge_operator_from_arrays(
+            tables33.grid, method, arrays, gpc=tables33.gpc
+        )
+        x = _probe(tables33.grid)
+        np.testing.assert_array_equal(op.apply(x), clone.apply(x))
+        assert clone.variant_tag == op.variant_tag
+
+    def test_fp64_toeplitz_requires_gpc(self, tables33):
+        op = build_edge_operator(tables33, "toeplitz")
+        with pytest.raises(OperatorError):
+            edge_operator_from_arrays(tables33.grid, "toeplitz", op.to_arrays())
+
+    def test_fp64_toeplitz_aliases_green_table(self, tables33):
+        op = build_edge_operator(tables33, "toeplitz")
+        assert isinstance(op, ToeplitzFFTEdgeOperator)
+        # The horizontal block is a view of gpc, not a copy: compression
+        # here means *no new* O(N^3) storage.
+        assert np.shares_memory(op._horizontal, tables33.gpc)
+
+    def test_compression_pays(self, tables33, dense33):
+        lowrank = build_edge_operator(tables33, "lowrank")
+        assert 0 < lowrank.nbytes < dense33.nbytes
+        assert isinstance(lowrank, LowRankEdgeOperator)
+        assert lowrank.total_rank > 0
+
+
+# -- content identity + process cache ----------------------------------------------
+class TestContentIdentity:
+    def test_content_key_embeds_hash_method_and_rank(self, tables33):
+        op = build_edge_operator(tables33, "lowrank")
+        key = op.content_key
+        assert key.startswith(tables33.grid.geometry_hash())
+        assert "lowrank" in key and f"r{op.total_rank}" in key
+
+    def test_variant_tags_distinct_across_methods(self, tables33):
+        tags = {build_edge_operator(tables33, m).variant_tag for m in EDGE_METHODS}
+        assert len(tags) == len(EDGE_METHODS)
+
+    def test_geometry_hash_stable_and_distinct(self):
+        a, b = RZGrid(33, 33), RZGrid(33, 33)
+        assert a.geometry_hash() == b.geometry_hash()
+        assert RZGrid(33, 35).geometry_hash() != a.geometry_hash()
+
+    def test_cached_seed_drop(self, tables33):
+        grid = tables33.grid
+        drop_edge_operator(grid, "toeplitz")
+        op = cached_edge_operator(tables33, "toeplitz")
+        assert cached_edge_operator(tables33, "toeplitz") is op
+        drop_edge_operator(grid, "toeplitz")
+        rebuilt = cached_edge_operator(tables33, "toeplitz")
+        assert rebuilt is not op
+        seed_edge_operator(op)
+        assert cached_edge_operator(tables33, "toeplitz") is op
+        drop_edge_operator(grid, "toeplitz")
+
+
+# -- solver integration ------------------------------------------------------------
+class TestSolverIntegration:
+    @pytest.fixture(scope="class")
+    def shot(self):
+        from repro.efit.measurements import synthetic_shot_186610
+
+        return synthetic_shot_186610(33)
+
+    @pytest.fixture(scope="class")
+    def dense_fit(self, shot):
+        solver = EfitSolver(shot.machine, shot.diagnostics, shot.grid)
+        return solver.fit(shot.measurements)
+
+    def test_default_is_dense(self, shot):
+        solver = EfitSolver(shot.machine, shot.diagnostics, shot.grid)
+        assert solver.boundary_method == "dense"
+
+    @pytest.mark.parametrize("method", ["toeplitz", "lowrank"])
+    def test_fp64_structured_fit_matches(self, shot, dense_fit, method):
+        solver = EfitSolver(
+            shot.machine, shot.diagnostics, shot.grid, boundary_method=method
+        )
+        result = solver.fit(shot.measurements)
+        assert result.converged and result.iterations == dense_fit.iterations
+        rel = np.max(np.abs(result.psi - dense_fit.psi)) / np.max(
+            np.abs(dense_fit.psi)
+        )
+        assert rel < 1e-10
+
+    def test_fp32_structured_fit_converges_close(self, shot, dense_fit):
+        solver = EfitSolver(
+            shot.machine, shot.diagnostics, shot.grid,
+            boundary_method="lowrank-fp32",
+        )
+        result = solver.fit(shot.measurements)
+        assert result.converged
+        rel = np.max(np.abs(result.psi - dense_fit.psi)) / np.max(
+            np.abs(dense_fit.psi)
+        )
+        assert rel < 1e-5
+
+    def test_conflicting_pflux_impl_rejected(self, shot):
+        with pytest.raises(FittingError, match="boundary_method"):
+            EfitSolver(
+                shot.machine, shot.diagnostics, shot.grid,
+                pflux_impl="reference", boundary_method="lowrank",
+            )
+
+    def test_unknown_method_rejected(self, shot):
+        with pytest.raises(OperatorError):
+            EfitSolver(
+                shot.machine, shot.diagnostics, shot.grid,
+                boundary_method="fourier",
+            )
+
+
+# -- disk cache --------------------------------------------------------------------
+class TestDiskCache:
+    def test_roundtrip_and_failsoft(self, tmp_path, monkeypatch, tables33):
+        from repro.efit import diskcache
+
+        monkeypatch.setenv(diskcache.CACHE_DIR_ENV, str(tmp_path))
+        grid = tables33.grid
+        assert diskcache.load_tables(grid) is None
+        assert diskcache.store_tables(tables33)
+        loaded = diskcache.load_tables(grid)
+        np.testing.assert_array_equal(loaded.gpc, tables33.gpc)
+
+        op = build_edge_operator(tables33, "lowrank")
+        assert diskcache.load_edge_operator(tables33, "lowrank", 1e-12) is None
+        assert diskcache.store_edge_operator(op, 1e-12)
+        clone = diskcache.load_edge_operator(tables33, "lowrank", 1e-12)
+        x = _probe(grid)
+        np.testing.assert_array_equal(clone.apply(x), op.apply(x))
+
+        # dense is never persisted; damaged entries fall back to None
+        dense = build_edge_operator(tables33, "dense")
+        assert not diskcache.store_edge_operator(dense, 1e-12)
+        path = diskcache.operator_path(grid, "lowrank", 1e-12)
+        path.write_bytes(b"not a zipfile")
+        assert diskcache.load_edge_operator(tables33, "lowrank", 1e-12) is None
+
+    def test_disabled_without_env(self, monkeypatch, tables33):
+        from repro.efit import diskcache
+
+        monkeypatch.delenv(diskcache.CACHE_DIR_ENV, raising=False)
+        assert diskcache.cache_dir() is None
+        assert diskcache.table_path(tables33.grid) is None
+        assert not diskcache.store_tables(tables33)
+        assert diskcache.load_tables(tables33.grid) is None
+
+
+# -- the protocol itself -----------------------------------------------------------
+class TestProtocol:
+    def test_methods_registry(self):
+        assert EDGE_METHODS[0] == "dense"
+        assert set(STRUCTURED) == {
+            "toeplitz", "lowrank", "toeplitz-fp32", "lowrank-fp32"
+        }
+
+    @pytest.mark.parametrize("method", EDGE_METHODS)
+    def test_common_surface(self, tables33, method):
+        op = build_edge_operator(tables33, method)
+        assert isinstance(op, EdgeOperator)
+        assert op.method == method
+        grid = tables33.grid
+        assert op.n_edge == 2 * grid.nw + 2 * grid.nh - 4
+        assert op.n_grid == grid.size
+        assert op.nbytes >= 0
+        assert isinstance(op.to_arrays(), dict)
+
+    def test_dense_wrapper_type(self, dense33):
+        assert isinstance(dense33, DenseEdgeOperator)

@@ -15,9 +15,12 @@ import pytest
 from repro.errors import BenchGateError, ObservabilityError
 from repro.obs.bench import (
     BENCH_SCHEMA_VERSION,
+    LARGE_ENV,
     BenchResult,
+    _resolve,
     bench_cases,
     evaluate_gate,
+    large_case_names,
     load_baseline,
     results_payload,
     run_benchmarks,
@@ -161,3 +164,77 @@ class TestBaselineIO:
         results = {"a": result("a", 0.5)}
         path = save_baseline(results, tmp_path / "b.json")
         assert json.loads(path.read_text()) == results_payload(results)
+
+
+class TestLargeCases:
+    """The 129^2/257^2 cases: registered but off by default."""
+
+    def test_large_cases_registered_and_flagged(self):
+        names = {c.name: c.large for c in bench_cases()}
+        for big in ("fit_129", "batch_129_b8", "kernel_boundary_257"):
+            assert names[big] is True
+        assert names["fit_65"] is False
+        assert set(large_case_names()) == {
+            "fit_129", "batch_129_b8", "kernel_boundary_257"
+        }
+
+    def test_default_resolution_excludes_large(self, monkeypatch):
+        monkeypatch.delenv(LARGE_ENV, raising=False)
+        resolved = {c.name for c in _resolve(None)}
+        assert resolved.isdisjoint(large_case_names())
+        assert "fit_65" in resolved
+
+    def test_env_flag_unlocks_large(self, monkeypatch):
+        monkeypatch.setenv(LARGE_ENV, "1")
+        resolved = {c.name for c in _resolve(None)}
+        assert set(large_case_names()) <= resolved
+        monkeypatch.setenv(LARGE_ENV, "0")
+        assert {c.name for c in _resolve(None)}.isdisjoint(large_case_names())
+
+    def test_explicit_names_ignore_env(self, monkeypatch):
+        monkeypatch.delenv(LARGE_ENV, raising=False)
+        resolved = _resolve(["kernel_boundary_257"])
+        assert [c.name for c in resolved] == ["kernel_boundary_257"]
+
+
+class TestGateSubsetting:
+    """evaluate_gate(names=...) — the split-lane CI form."""
+
+    def _baseline(self):
+        return {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "tolerance": 0.5,
+            "benchmarks": {
+                "a": {"median_seconds": 1.0},
+                "b": {"median_seconds": 1.0},
+                "big": {"median_seconds": 1.0},
+            },
+        }
+
+    def test_names_subset_only_gates_selection(self):
+        # "big" missing from current would fail a full gate, but the
+        # quick lane gates only its own subset.
+        current = {"a": result("a", 1.0), "b": result("b", 1.0)}
+        outcomes, ok = evaluate_gate(current, self._baseline(), names=["a", "b"])
+        assert ok and [o.name for o in outcomes] == ["a", "b"]
+
+    def test_full_gate_requires_every_baseline_entry(self):
+        current = {"a": result("a", 1.0), "b": result("b", 1.0)}
+        with pytest.raises(BenchGateError, match="missing coverage"):
+            evaluate_gate(current, self._baseline())
+
+    def test_missing_coverage_carries_partial_outcomes(self):
+        current = {"a": result("a", 1.0), "b": result("b", 1.0)}
+        with pytest.raises(BenchGateError) as excinfo:
+            evaluate_gate(current, self._baseline(), names=["a", "big", "b"])
+        partial = excinfo.value.outcomes
+        assert [o.name for o in partial] == ["a"]
+
+    def test_duplicate_and_unknown_names_tolerated(self):
+        # Unknown names are skipped (they gate once committed); dupes
+        # collapse so no case is double-reported.
+        current = {"a": result("a", 1.0)}
+        outcomes, ok = evaluate_gate(
+            current, self._baseline(), names=["a", "a", "uncommitted"]
+        )
+        assert ok and [o.name for o in outcomes] == ["a"]

@@ -1,0 +1,174 @@
+"""CLI: `repro operators`, boundary-method flags and gate subsetting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import _EDGE_METHODS, build_parser, main
+
+
+class TestMethodListPin:
+    def test_cli_literal_matches_registry(self):
+        """cli.py keeps its own import-light tuple of methods for argparse
+        choices; pin it to the real registry so they cannot drift."""
+        from repro.efit.operators import EDGE_METHODS
+
+        assert _EDGE_METHODS == EDGE_METHODS
+
+
+class TestParser:
+    def test_operators_defaults(self):
+        args = build_parser().parse_args(["operators"])
+        assert args.grid == 65 and args.vectors == 4
+        assert args.method is None and not args.check
+
+    def test_operators_method_choices(self):
+        args = build_parser().parse_args(
+            ["operators", "--method", "lowrank", "--method", "toeplitz-fp32"]
+        )
+        assert args.method == ["lowrank", "toeplitz-fp32"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["operators", "--method", "dense"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["operators", "--method", "butterfly"])
+
+    @pytest.mark.parametrize("command", ["fit", "analyze"])
+    def test_boundary_method_flag(self, command):
+        args = build_parser().parse_args([command, "--boundary-method", "lowrank"])
+        assert args.boundary_method == "lowrank"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([command, "--boundary-method", "butterfly"])
+
+    def test_pfleet_boundary_method_flag(self):
+        args = build_parser().parse_args(
+            ["pfleet", "g186610", "--boundary-method", "toeplitz"]
+        )
+        assert args.boundary_method == "toeplitz"
+
+
+class TestOperatorsCommand:
+    def test_check_passes_at_small_grid(self, capsys):
+        assert main(["operators", "--grid", "17", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "operator drift check: ok (4 method(s))" in out
+        for method in ("toeplitz", "lowrank", "toeplitz-fp32", "lowrank-fp32"):
+            assert method in out
+        assert "max-abs-error" in out
+
+    def test_json_payload(self, capsys):
+        assert main(["operators", "--grid", "17", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["grid"] == 17
+        assert payload["dense_nbytes"] > 0
+        methods = {row["method"]: row for row in payload["methods"]}
+        assert all(row["ok"] for row in methods.values())
+        assert methods["lowrank"]["compression"] > 1.0
+        assert methods["lowrank-fp32"]["bound"] == pytest.approx(1e-5)
+
+    def test_impossible_bound_fails_check(self, capsys):
+        code = main(
+            ["operators", "--grid", "17", "--method", "lowrank",
+             "--fp64-bound", "1e-30", "--check"]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "operator drift check: FAIL" in captured.err
+
+    def test_without_check_bound_failure_is_reported_not_fatal(self, capsys):
+        code = main(
+            ["operators", "--grid", "17", "--method", "lowrank",
+             "--fp64-bound", "1e-30"]
+        )
+        assert code == 0
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_bad_usage_exits_2(self, capsys):
+        assert main(["operators", "--grid", "3"]) == 2
+        assert "--grid" in capsys.readouterr().err
+
+
+def _fake_results(**medians):
+    from repro.obs.bench import BenchResult
+
+    return {
+        name: BenchResult(
+            name=name, group="kernels", median_seconds=m, samples=(m,)
+        )
+        for name, m in medians.items()
+    }
+
+
+def _write_baseline(path, medians, tolerance=0.5):
+    from repro.obs.bench import BENCH_SCHEMA_VERSION
+
+    path.write_text(
+        json.dumps(
+            {
+                "schema_version": BENCH_SCHEMA_VERSION,
+                "tolerance": tolerance,
+                "benchmarks": {
+                    n: {"median_seconds": m, "group": "kernels"}
+                    for n, m in medians.items()
+                },
+            }
+        )
+    )
+
+
+class TestGateSubsettingCLI:
+    @pytest.fixture(autouse=True)
+    def no_large_env(self, monkeypatch):
+        from repro.obs.bench import LARGE_ENV
+
+        monkeypatch.delenv(LARGE_ENV, raising=False)
+
+    def test_default_gate_skips_large_baseline_entries(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """The quick lane passes without running 129^2/257^2 cases even
+        though the committed baseline includes them."""
+        import repro.obs.bench as bench
+
+        monkeypatch.setattr(
+            bench, "run_benchmarks", lambda *a, **k: _fake_results(a=1.0)
+        )
+        p = tmp_path / "b.json"
+        _write_baseline(p, {"a": 1.0, "fit_129": 1.0, "kernel_boundary_257": 1.0})
+        assert main(["bench", "--gate", "--baseline", str(p)]) == 0
+        out = capsys.readouterr().out
+        assert "benchmark gate: ok (1 case(s)" in out
+        assert "fit_129" not in out
+
+    def test_missing_coverage_exit_2_still_prints_ratio_table(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """A baseline entry that never ran is a broken gate (exit 2), but
+        the partial ratio table must still print for diagnosis."""
+        import repro.obs.bench as bench
+
+        monkeypatch.setattr(
+            bench, "run_benchmarks", lambda *a, **k: _fake_results(a=1.0)
+        )
+        p = tmp_path / "b.json"
+        _write_baseline(p, {"a": 1.0, "ghost": 1.0})
+        assert main(["bench", "--gate", "--baseline", str(p)]) == 2
+        captured = capsys.readouterr()
+        assert "ghost" in captured.err and "missing coverage" in captured.err
+        # The one case that did run shows up in the printed table.
+        assert "gate ok" in captured.out and "limit" in captured.out
+
+    def test_regression_exit_3_with_table(self, tmp_path, monkeypatch, capsys):
+        import repro.obs.bench as bench
+
+        monkeypatch.setattr(
+            bench, "run_benchmarks", lambda *a, **k: _fake_results(a=10.0)
+        )
+        p = tmp_path / "b.json"
+        _write_baseline(p, {"a": 1.0})
+        assert main(["bench", "--gate", "--baseline", str(p)]) == 3
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.err
+        assert "a" in captured.out.split()
