@@ -196,6 +196,7 @@ class BatchFitEngine:
         profiler: RegionProfiler,
         t_run0: float,
         require_convergence: bool,
+        psi_initial: Sequence["np.ndarray | None"] | None = None,
     ) -> list[tuple[FitResult, float, int]]:
         """Advance one batch of slices in lockstep to convergence."""
         solver = self.solver
@@ -205,9 +206,16 @@ class BatchFitEngine:
         nb = len(batch)
         n_edge = self._edge_i.size
 
+        seeds = psi_initial if psi_initial is not None else [None] * nb
         states = [
-            solver.start_fit(m, statics=self.statics, profiler=profiler, hooks=hooks)
-            for m in batch
+            solver.start_fit(
+                m,
+                psi_initial=seed,
+                statics=self.statics,
+                profiler=profiler,
+                hooks=hooks,
+            )
+            for m, seed in zip(batch, seeds)
         ]
         # Fixed-capacity batch buffers, reused across iterates and batches;
         # a ragged final batch takes views so the arena shapes never change.
@@ -256,18 +264,31 @@ class BatchFitEngine:
         self,
         slices: Sequence[MeasurementSet],
         *,
+        psi_initial: Sequence["np.ndarray | None"] | None = None,
         require_convergence: bool = True,
     ) -> BatchFitResult:
         """Reconstruct every slice; returns per-slice results + stats.
 
         Slices are grouped into batches of ``batch_size`` in input order;
-        ``n_workers`` threads drain the batch queue.  Raises
+        ``n_workers`` threads drain the batch queue.  ``psi_initial``
+        optionally supplies one warm-start flux per slice (``None``
+        entries stay cold) — each seeds that slice's
+        :meth:`~repro.efit.fitting.EfitSolver.start_fit` exactly as the
+        serial path would, so warm-started batch output bit-matches a
+        warm-started serial solve.  Raises
         :class:`~repro.errors.ConvergenceError` on the first unconverged
         slice unless ``require_convergence=False``.
         """
         slices = list(slices)
         if not slices:
             raise FittingError("fit_many needs at least one slice")
+        if psi_initial is not None:
+            psi_initial = list(psi_initial)
+            if len(psi_initial) != len(slices):
+                raise FittingError(
+                    f"psi_initial has {len(psi_initial)} entries for "
+                    f"{len(slices)} slices"
+                )
         batches = [
             (start, slices[start : start + self.batch_size])
             for start in range(0, len(slices), self.batch_size)
@@ -290,6 +311,9 @@ class BatchFitEngine:
                 self._profilers[worker],
                 t_run0,
                 require_convergence,
+                psi_initial[start : start + len(batch)]
+                if psi_initial is not None
+                else None,
             )
             for offset, (result, latency, iters) in enumerate(outcomes):
                 results[start + offset] = result

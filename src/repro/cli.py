@@ -28,12 +28,18 @@ Commands
     Shard a multi-slice reconstruction across worker processes through
     the :mod:`repro.parallel` scheduler; optionally write the merged
     per-worker Chrome trace and compare against the serial engine.
+``serve``
+    Stream concurrent synthetic shot streams through the real-time
+    reconstruction service (:mod:`repro.serve`): per-slice deadlines,
+    warm-started Picard solves, backpressure and ``serve.*`` metrics;
+    ``--check`` turns the run into the serve-smoke CI gate.
 
 ``census``, ``sites``, ``analyze`` and ``bench`` accept ``--json`` and
 share one emitter (:mod:`repro.utils.jsonio`) so their machine-readable
 output has a single formatting contract.
 
-Exit codes: 0 success; 2 environment/usage error (missing baseline,
+Exit codes: 0 success; 1 failed ``--check`` gate (``operators`` drift,
+``serve`` smoke); 2 environment/usage error (missing baseline,
 unwritable output path); 3 benchmark-gate regression; 4 quarantined
 parallel jobs.  argparse itself exits 2 on unknown commands/flags.
 """
@@ -271,6 +277,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_pf.add_argument(
         "--allow-failures", action="store_true",
         help="report quarantined jobs instead of aborting on them (still exits 4)",
+    )
+
+    p_sv = sub.add_parser(
+        "serve",
+        help="stream concurrent shot streams through the real-time service",
+    )
+    p_sv.add_argument(
+        "--scenario",
+        choices=scenarios,
+        default=DEFAULT_SCENARIO,
+        help=f"registered machine/shot scenario (default {DEFAULT_SCENARIO})",
+    )
+    p_sv.add_argument("--grid", type=int, default=65, help="grid size (default 65)")
+    p_sv.add_argument(
+        "--streams", type=int, default=4,
+        help="concurrent shot streams (default 4)",
+    )
+    p_sv.add_argument(
+        "--slices", type=int, default=8,
+        help="frames per stream (default 8)",
+    )
+    p_sv.add_argument(
+        "--deadline-ms", type=float, default=1000.0,
+        help="per-slice solve budget in milliseconds; 0 disables "
+        "deadline enforcement (default 1000)",
+    )
+    p_sv.add_argument(
+        "--queue-depth", type=int, default=None,
+        help="bounded per-stream frame queue; overflow sheds the oldest "
+        "frame (default: slices, so the offline replay never sheds)",
+    )
+    p_sv.add_argument(
+        "--executor-workers", type=int, default=None,
+        help="solver thread pool size (default: number of streams, capped at 8)",
+    )
+    p_sv.add_argument(
+        "--no-warm-start", action="store_true",
+        help="solve every slice cold (A/B baseline for the warm savings)",
+    )
+    p_sv.add_argument(
+        "--boundary-method", choices=_EDGE_METHODS, default="dense",
+        help="edge-flux operator of the shared engine (default dense)",
+    )
+    p_sv.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the serve.* metrics snapshot (with summary) here",
+    )
+    p_sv.add_argument(
+        "--compare-serial", action="store_true",
+        help="re-run every stream through the serial solver with the same "
+        "warm-start chaining and require bit-identical results",
+    )
+    p_sv.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless zero deadline misses and positive "
+        "warm-start iteration savings (the serve-smoke CI gate)",
     )
 
     p_op = sub.add_parser(
@@ -756,6 +818,165 @@ def _cmd_operators(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    import numpy as np
+
+    from repro.batch import BatchFitEngine, synthetic_slice_sequence
+    from repro.errors import ServeError
+    from repro.scenarios import get_scenario
+    from repro.serve import Frame, ReconstructionService, ServeConfig, ServeMetrics
+
+    if args.streams < 1 or args.slices < 1 or args.grid < 17:
+        print(
+            "error: --streams and --slices must be >= 1, --grid >= 17",
+            file=sys.stderr,
+        )
+        return 2
+    if args.deadline_ms < 0:
+        print("error: --deadline-ms must be >= 0", file=sys.stderr)
+        return 2
+    sc = get_scenario(args.scenario)
+    shot = sc.make_shot(args.grid)
+    engine = BatchFitEngine.for_scenario(
+        sc, shot=shot, boundary_method=args.boundary_method
+    )
+    deadline_s = args.deadline_ms / 1e3 if args.deadline_ms > 0 else None
+    config = ServeConfig(
+        deadline_s=deadline_s,
+        queue_depth=args.queue_depth if args.queue_depth else args.slices,
+        max_streams=args.streams,
+        warm_start=not args.no_warm_start,
+        executor_workers=(
+            args.executor_workers
+            if args.executor_workers
+            else min(args.streams, 8)
+        ),
+    )
+    metrics = ServeMetrics()
+    service = ReconstructionService(engine, config=config, metrics=metrics)
+    # One synthetic measurement sequence per stream (distinct noise
+    # seeds): K shots' worth of frames replayed concurrently.
+    frames = {
+        f"{sc.name}-{k}": synthetic_slice_sequence(
+            shot, args.slices, seed=3 + k
+        )
+        for k in range(args.streams)
+    }
+    print(
+        f"serve {sc.name}@{args.grid}x{args.grid}: {args.streams} stream(s) x "
+        f"{args.slices} slice(s), deadline "
+        f"{'off' if deadline_s is None else f'{1e3 * deadline_s:.0f} ms'}, "
+        f"warm start {'off' if args.no_warm_start else 'on'}"
+    )
+
+    async def replay():
+        async with service as svc:
+            for sid in frames:
+                await svc.open_stream(sid)
+            # Interleave submissions across streams (round-robin), the
+            # arrival order a multi-shot acquisition system produces.
+            for i in range(args.slices):
+                for sid, slices in frames.items():
+                    await svc.submit(
+                        sid, Frame(stream_id=sid, index=i, measurements=slices[i])
+                    )
+            return await svc.stop()
+
+    try:
+        summaries = asyncio.run(replay())
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    for sid, summary in summaries.items():
+        iters = ",".join(str(r.iterations) for r in summary.reports)
+        print(
+            f"  {sid}: {len(summary.reports)} slice(s), iterations [{iters}], "
+            f"{summary.warm_slices} warm, {summary.deadline_misses} deadline "
+            f"miss(es), {summary.frames_shed} shed"
+        )
+    s = metrics.summary()
+    print(
+        f"latency p50/p95/p99: {1e3 * s['latency_p50_s']:.1f} / "
+        f"{1e3 * s['latency_p95_s']:.1f} / {1e3 * s['latency_p99_s']:.1f} ms; "
+        f"deadline misses: {s['deadline_misses']:.0f}/{s['slices']:.0f}; "
+        f"frames shed: {s['frames_shed']:.0f}"
+    )
+    print(
+        f"iterations to converge: cold {s['cold_iterations_mean']:.1f} "
+        f"({s['cold_slices']} slice(s)) vs warm {s['warm_iterations_mean']:.1f} "
+        f"({s['warm_slices']} slice(s)) -> savings "
+        f"{s['warm_iteration_savings']:.1f} iteration(s)/slice"
+    )
+
+    if args.metrics_out:
+        from repro.utils.jsonio import dump_json
+
+        try:
+            with open(args.metrics_out, "w") as fh:
+                dump_json(metrics.to_dict(), fh)
+        except OSError as exc:
+            print(f"error: cannot write {args.metrics_out}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote metrics {args.metrics_out}")
+
+    if args.compare_serial:
+        # Replay every stream through the plain serial solver with the
+        # *same* warm-start chaining decisions the service made; every
+        # slice that ran to convergence under its deadline must be
+        # bit-identical.
+        solver = engine.solver
+        compared = mismatched = 0
+        for sid, summary in summaries.items():
+            prev_psi = prev_coeffs = None
+            for report, m in zip(summary.reports, frames[sid]):
+                serial = solver.fit(
+                    m,
+                    psi_initial=prev_psi,
+                    coeffs_initial=prev_coeffs,
+                    require_convergence=False,
+                )
+                if report.converged:
+                    compared += 1
+                    if not (
+                        np.array_equal(serial.psi, report.result.psi)
+                        and serial.chi2 == report.result.chi2
+                    ):
+                        mismatched += 1
+                    prev_psi, prev_coeffs = (
+                        serial.psi,
+                        serial.history[-1].coefficients,
+                    )
+                else:
+                    prev_psi = prev_coeffs = None
+        print(
+            f"serial comparison: {compared} converged slice(s) compared, "
+            f"{mismatched} mismatch(es)"
+        )
+        if mismatched:
+            print("error: served results diverged from the serial solver",
+                  file=sys.stderr)
+            return 4
+
+    if args.check:
+        savings_ok = args.no_warm_start or s["warm_iteration_savings"] > 0.0
+        if s["deadline_misses"] or not savings_ok:
+            print(
+                "serve check: FAIL "
+                f"({s['deadline_misses']:.0f} deadline miss(es), "
+                f"savings {s['warm_iteration_savings']:.1f})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"serve check: ok (0 misses across {s['slices']:.0f} slices, "
+            f"warm savings {s['warm_iteration_savings']:.1f} iteration(s)/slice)"
+        )
+    return 0
+
+
 def _cmd_pfleet(args) -> int:
     import numpy as np
 
@@ -898,6 +1119,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_operators(args)
     if args.command == "pfleet":
         return _cmd_pfleet(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "version":
         from repro.version import __version__
 

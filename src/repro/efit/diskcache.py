@@ -18,6 +18,8 @@ garbage into a fit.
 
 from __future__ import annotations
 
+import contextlib
+import itertools
 import os
 import re
 from pathlib import Path
@@ -91,10 +93,17 @@ def _load_npz(path: Path | None) -> dict[str, np.ndarray] | None:
         return None  # damaged entry: rebuild
 
 
+#: Process-local sequence making each temp file name unique: two threads
+#: in one process (concurrent serve sessions, batch workers) share a pid,
+#: so the pid alone is not a safe key.  ``itertools.count`` increments
+#: atomically under the GIL.
+_TMP_SEQUENCE = itertools.count()
+
+
 def _store_npz(path: Path | None, arrays: dict[str, np.ndarray]) -> bool:
     if path is None:
         return False
-    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}-{next(_TMP_SEQUENCE)}")
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
         with open(tmp, "wb") as fh:
@@ -102,8 +111,16 @@ def _store_npz(path: Path | None, arrays: dict[str, np.ndarray]) -> bool:
         os.replace(tmp, path)  # atomic: a concurrent reader never sees a torn file
         return True
     except OSError:
-        tmp.unlink(missing_ok=True)
+        with contextlib.suppress(OSError):
+            tmp.unlink(missing_ok=True)
         return False
+    except BaseException:
+        # Non-OSError failures (bad array payload, interrupt) are not
+        # fail-soft cases — propagate them, but never leave the torn
+        # temp file behind (and never let the cleanup mask them).
+        with contextlib.suppress(OSError):
+            tmp.unlink(missing_ok=True)
+        raise
 
 
 def load_tables(grid: RZGrid):

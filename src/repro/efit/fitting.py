@@ -40,7 +40,7 @@ from repro.efit.profiles import ProfileCoefficients
 from repro.efit.response import assemble_response, chi_squared, solve_weighted_lsq
 from repro.efit.solvers import make_solver
 from repro.efit.tables import cached_boundary_tables
-from repro.errors import ConvergenceError, FittingError
+from repro.errors import BoundaryError, ConvergenceError, FittingError
 from repro.obs.hooks import NULL_HOOKS, ObservationHooks
 from repro.profiling.regions import RegionProfiler
 
@@ -104,6 +104,14 @@ class FitState:
     residual: float = np.inf
     iteration: int = 0
     converged: bool = False
+    #: Last iteration (inclusive) forced onto the fixed warm-up current
+    #: shape.  The solver's ``n_warmup`` for a cold start; 0 for a trusted
+    #: warm start, so a converged ``psi_initial`` can converge immediately.
+    warmup_until: int = 0
+    #: True while the supplied ``psi_initial`` is trusted.  Revoked by the
+    #: divergence guard in :meth:`EfitSolver.iterate_post`, which falls
+    #: back to a cold warm-up starting at the current iteration.
+    warm_start: bool = False
     history: list[FitIterationRecord] = field(default_factory=list)
 
 
@@ -134,6 +142,8 @@ class FitResult:
     history: tuple[FitIterationRecord, ...] = field(default_factory=tuple)
     #: Fitted vessel eddy currents [A] (None when not fitted).
     vessel_currents: np.ndarray | None = None
+    #: Whether the slice ran (and finished) on a trusted warm start.
+    warm_start: bool = False
 
     @property
     def ip(self) -> float:
@@ -190,6 +200,7 @@ class EfitSolver:
         relax: float = 1.0,
         relax_current: float = 0.5,
         n_warmup: int = 8,
+        warm_start_guard: float = 0.25,
         fitdelz: bool = True,
         fit_vessel: bool = False,
         ridge: float = 1e-10,
@@ -215,6 +226,11 @@ class EfitSolver:
         if n_warmup < 0:
             raise FittingError("n_warmup must be >= 0")
         self.n_warmup = n_warmup
+        if warm_start_guard <= 0.0:
+            raise FittingError("warm_start_guard must be positive")
+        #: Residual above which a trusted warm start is declared divergent
+        #: and the slice falls back to the cold warm-up current shape.
+        self.warm_start_guard = warm_start_guard
         self.fitdelz = fitdelz
         self.ridge = ridge
         # Height of the seed filament in the default initial psi.  None
@@ -361,11 +377,27 @@ class EfitSolver:
         measurements: MeasurementSet,
         *,
         psi_initial: np.ndarray | None = None,
+        coeffs_initial: np.ndarray | None = None,
         statics: GridStatics | None = None,
         profiler: RegionProfiler | None = None,
         hooks: ObservationHooks | None = None,
     ) -> FitState:
         """Validate one slice's inputs and build its initial Picard state.
+
+        When ``psi_initial`` is supplied *and* a boundary search on it
+        succeeds, the state starts in trusted warm-start mode: the fixed
+        warm-up current shape is skipped (``warmup_until = 0``) and
+        convergence may be declared from the first iterate — this is what
+        lets a converged previous-slice psi cut the iteration count.  A
+        ``psi_initial`` whose boundary search fails is discarded entirely
+        and the fit starts cold — a seed without a findable boundary
+        would also break the cold path's own ``steps_`` boundary search,
+        so degrading means replacing it, not keeping it.
+        ``coeffs_initial`` optionally
+        seeds the profile coefficients (the previous slice's converged
+        vector); without it the first trusted iterate takes an undamped
+        least-squares step so the coefficients jump straight onto the
+        trusted geometry's solution.
 
         ``statics`` short-circuits the per-call rebuild of machine/grid
         invariants (see :class:`GridStatics`); ``profiler`` overrides the
@@ -387,22 +419,58 @@ class EfitSolver:
             raise FittingError("initial psi shape mismatch")
         if not np.all(np.isfinite(psi)):
             raise FittingError("initial psi contains non-finite values")
+        n_coeffs = self.pp_basis.n_terms + self.ffp_basis.n_terms
+        if coeffs_initial is not None:
+            coeffs = np.array(coeffs_initial, dtype=float)
+            if coeffs.shape != (n_coeffs,):
+                raise FittingError(
+                    f"initial coefficients shape {coeffs.shape}, expected ({n_coeffs},)"
+                )
+            if not np.all(np.isfinite(coeffs)):
+                raise FittingError("initial coefficients contain non-finite values")
+        else:
+            coeffs = np.zeros(n_coeffs)
+        sign = 1 if measurements.ip >= 0 else -1
+        warm_start = False
+        if psi_initial is not None:
+            # Trust probe: a supplied psi earns the warm start only if it
+            # already carries a findable plasma boundary.
+            try:
+                find_boundary(
+                    grid,
+                    psi,
+                    self.machine.limiter,
+                    sign=sign,
+                    inside=statics.inside_limiter if statics is not None else None,
+                    limiter_samples=(
+                        statics.limiter_samples if statics is not None else None
+                    ),
+                )
+                warm_start = True
+            except BoundaryError:
+                # The seed carries no usable boundary: fall back to the
+                # standard cold-start flux rather than iterating on it.
+                warm_start = False
+                psi = self._initial_psi(measurements, statics)
         state = FitState(
             measurements=measurements,
             psi=psi,
             psi_external=psi_external,
-            sign=1 if measurements.ip >= 0 else -1,
-            coeffs=np.zeros(self.pp_basis.n_terms + self.ffp_basis.n_terms),
+            sign=sign,
+            coeffs=coeffs,
             pcurr=np.zeros(grid.shape),
             profiler=profiler if profiler is not None else self.profiler,
             hooks=hooks if hooks is not None else self.hooks,
             vessel_currents=np.zeros(self.machine.n_vessel) if self.fit_vessel else None,
+            warmup_until=0 if warm_start else self.n_warmup,
+            warm_start=warm_start,
         )
         state.hooks.event(
             "start_fit",
             grid=f"{grid.nw}x{grid.nh}",
             n_measurements=measurements.n_measurements,
             ip=measurements.ip,
+            warm_start=warm_start,
         )
         return state
 
@@ -447,11 +515,21 @@ class EfitSolver:
                 measurements.values,
                 measurements.uncertainties,
             )
-            if state.iteration <= self.n_warmup:
+            rc = self.relax_current
+            if state.warm_start and state.iteration == 1 and not state.coeffs.any():
+                # Trusted geometry without seeded coefficients: damping
+                # from the zero vector would halve the current on the
+                # first iterate, so jump straight to the LSQ solution
+                # (which is the Picard fixed point of the damped update).
+                rc = 1.0
+            if state.iteration <= state.warmup_until:
                 # Warm-up: a fixed peaked current shape rescaled to
                 # the measured Ip (EFIT's initial parabolic
                 # distribution) until the geometry is sane enough
-                # for the least-squares step to be trustworthy.
+                # for the least-squares step to be trustworthy.  A
+                # trusted warm start enters with warmup_until == 0 and
+                # never takes this branch, so a converged previous-slice
+                # psi is no longer clobbered by the parabolic shape.
                 warm = np.zeros(state.coeffs.size)
                 warm[self.pp_basis.n_terms] = 1.0
                 if self.ffp_basis.n_terms > 1:
@@ -473,12 +551,10 @@ class EfitSolver:
                 )
                 sol = solve_weighted_lsq(aug, ridge=self.ridge)
                 n_prof = state.coeffs.size
-                state.coeffs = (
-                    1.0 - self.relax_current
-                ) * state.coeffs + self.relax_current * sol[:n_prof]
+                state.coeffs = (1.0 - rc) * state.coeffs + rc * sol[:n_prof]
                 state.vessel_currents = (
-                    1.0 - self.relax_current
-                ) * state.vessel_currents + self.relax_current * sol[n_prof:]
+                    1.0 - rc
+                ) * state.vessel_currents + rc * sol[n_prof:]
                 state.chi2 = chi_squared(
                     aug, np.concatenate([state.coeffs, state.vessel_currents])
                 )
@@ -488,9 +564,7 @@ class EfitSolver:
                 # still-wrong geometry overdrives the current and the
                 # Picard map loses contraction (EFIT's fitting
                 # weights play the same stabilising role).
-                state.coeffs = (
-                    1.0 - self.relax_current
-                ) * state.coeffs + self.relax_current * coeffs_lsq
+                state.coeffs = (1.0 - rc) * state.coeffs + rc * coeffs_lsq
                 state.chi2 = chi_squared(assembly, state.coeffs)
         with hooks.profiled_region(profiler, "current_", iteration=state.iteration):
             pcurr = grid.unflatten(jmat @ state.coeffs)
@@ -533,8 +607,32 @@ class EfitSolver:
                 coefficients=state.coeffs.copy(),
             )
         )
-        if state.residual < self.tol and state.iteration > self.n_warmup:
+        if state.residual < self.tol and state.iteration > state.warmup_until:
             state.converged = True
+        elif state.warm_start:
+            # Divergence guard: a trusted warm start whose flux is moving
+            # by more than warm_start_guard of the span (or growing
+            # between iterates) was not actually near the fixed point.
+            # Revoke the trust and rerun the cold warm-up from here —
+            # the slice then behaves like a cold solve that happened to
+            # start from the supplied psi.
+            previous = (
+                state.history[-2].residual if len(state.history) >= 2 else None
+            )
+            grew = (
+                previous is not None
+                and state.residual > 2.0 * previous
+                and state.residual > 100.0 * self.tol
+            )
+            if state.residual > self.warm_start_guard or grew:
+                state.warm_start = False
+                state.warmup_until = state.iteration + self.n_warmup
+                hooks.event(
+                    "warm_start_fallback",
+                    iteration=state.iteration,
+                    residual=state.residual,
+                    guard=self.warm_start_guard,
+                )
         if hooks.enabled:
             hooks.event(
                 "picard_iteration",
@@ -553,7 +651,7 @@ class EfitSolver:
         if not state.converged and require_convergence:
             raise ConvergenceError(
                 f"fit did not converge: residual {state.residual:.3e} > {self.tol:.1e} "
-                f"after {self.max_iters} iterations"
+                f"after {len(state.history)} iterations (max_iters {self.max_iters})"
             )
         profiles = ProfileCoefficients.from_vector(
             self.pp_basis, self.ffp_basis, state.coeffs
@@ -564,6 +662,7 @@ class EfitSolver:
             iterations=len(state.history),
             chi2=state.chi2,
             residual=state.residual,
+            warm_start=state.warm_start,
         )
         return FitResult(
             psi=state.psi,
@@ -578,6 +677,7 @@ class EfitSolver:
             vessel_currents=(
                 state.vessel_currents.copy() if state.vessel_currents is not None else None
             ),
+            warm_start=state.warm_start,
         )
 
     # -- the fit -------------------------------------------------------------------
@@ -586,15 +686,22 @@ class EfitSolver:
         measurements: MeasurementSet,
         *,
         psi_initial: np.ndarray | None = None,
+        coeffs_initial: np.ndarray | None = None,
         require_convergence: bool = True,
     ) -> FitResult:
         """Reconstruct one time slice.
 
-        Raises :class:`ConvergenceError` when the loop exhausts
-        ``max_iters`` without meeting ``tol`` (suppress with
+        ``psi_initial`` (e.g. the previous slice's converged flux) enters
+        trusted warm-start mode when its boundary search succeeds — the
+        warm-up phase is skipped and convergence may be declared from the
+        first iterate; see :meth:`start_fit`.  Raises
+        :class:`ConvergenceError` when the loop exhausts ``max_iters``
+        without meeting ``tol`` (suppress with
         ``require_convergence=False`` to inspect the partial result).
         """
-        state = self.start_fit(measurements, psi_initial=psi_initial)
+        state = self.start_fit(
+            measurements, psi_initial=psi_initial, coeffs_initial=coeffs_initial
+        )
         hooks = state.hooks
         for _ in range(self.max_iters):
             with hooks.profiled_region(

@@ -37,6 +37,8 @@ __all__ = [
     "ParallelError",
     "ArenaError",
     "JobQuarantinedError",
+    "ServeError",
+    "AdmissionError",
 ]
 
 
@@ -201,3 +203,13 @@ class JobQuarantinedError(ParallelError):
     def __init__(self, message: str, failures: tuple = ()) -> None:
         self.failures = failures
         super().__init__(message)
+
+
+class ServeError(ReproError):
+    """Streaming-service failure: invalid configuration, a stopped
+    service, or misuse of the stream lifecycle."""
+
+
+class AdmissionError(ServeError):
+    """A new stream was refused: the service is at its concurrent-stream
+    capacity (admission control, not a transient queue overflow)."""

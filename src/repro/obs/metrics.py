@@ -145,7 +145,10 @@ class Histogram:
         cumulative = 0
         for count, bound in zip(self.counts, self.bounds):
             cumulative += count
-            if cumulative >= target:
+            # The extra cumulative > 0 guard only matters at q == 0
+            # (target 0): skip empty leading buckets so the answer is
+            # the minimum sample's bucket, not bounds[0].
+            if cumulative >= target and cumulative > 0:
                 return bound
         return math.inf
 

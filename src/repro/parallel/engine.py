@@ -118,9 +118,11 @@ def _init_fit_worker(
 
 def _run_fit_job(state: dict[str, Any], payload: tuple) -> tuple:
     """Reconstruct one batch group; returns (results, latencies, iters)."""
-    slices, require_convergence = payload
+    slices, psi_initial, require_convergence = payload
     engine: BatchFitEngine = state["engine"]
-    out = engine.fit_many(slices, require_convergence=require_convergence)
+    out = engine.fit_many(
+        slices, psi_initial=psi_initial, require_convergence=require_convergence
+    )
     return (out.results, out.latencies, out.stats.total_iterations)
 
 
@@ -223,6 +225,7 @@ class ParallelFitEngine:
         self,
         slices: Sequence,
         *,
+        psi_initial: Sequence | None = None,
         require_convergence: bool = True,
         allow_failures: bool = False,
     ) -> ParallelFitResult:
@@ -230,21 +233,37 @@ class ParallelFitEngine:
 
         Jobs are the serial engine's exact ``batch_size`` groups, so with
         zero failures the merged ``results`` tuple is bit-identical to
-        ``BatchFitEngine.fit_many`` on the same slices.  Quarantined jobs
-        raise :class:`~repro.errors.JobQuarantinedError` unless
+        ``BatchFitEngine.fit_many`` on the same slices.  ``psi_initial``
+        optionally warm-starts individual slices (one entry per slice,
+        ``None`` = cold); the seeds ship to workers alongside their
+        group, preserving the bit-identity with an equally warm-started
+        serial engine.  Quarantined jobs raise
+        :class:`~repro.errors.JobQuarantinedError` unless
         ``allow_failures=True``, in which case the surviving slices are
         returned alongside the failure records.
         """
         slices = list(slices)
         if not slices:
             raise FittingError("fit_many needs at least one slice")
+        if psi_initial is not None:
+            psi_initial = list(psi_initial)
+            if len(psi_initial) != len(slices):
+                raise FittingError(
+                    f"psi_initial has {len(psi_initial)} entries for "
+                    f"{len(slices)} slices"
+                )
         groups = [
-            slices[start : start + self.batch_size]
+            (
+                slices[start : start + self.batch_size],
+                psi_initial[start : start + self.batch_size]
+                if psi_initial is not None
+                else None,
+            )
             for start in range(0, len(slices), self.batch_size)
         ]
         t0 = time.perf_counter()
         schedule = self.scheduler.run(
-            [(group, require_convergence) for group in groups]
+            [(group, seeds, require_convergence) for group, seeds in groups]
         )
         self._last_reports = schedule.reports
         if schedule.failures and not allow_failures:

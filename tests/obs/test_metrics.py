@@ -66,6 +66,31 @@ class TestPrimitives:
         with pytest.raises(ObservabilityError):
             h.quantile(1.5)
 
+    def test_histogram_quantile_boundaries(self):
+        """The q=0 / q=1 / empty / overflow corner cases the serving
+        scoreboard leans on."""
+        empty = Histogram("empty", bounds=(1.0, 2.0))
+        assert empty.quantile(0.0) == 0.0
+        assert empty.quantile(0.5) == 0.0
+        assert empty.quantile(1.0) == 0.0
+
+        h = Histogram("q", bounds=(1.0, 2.0, 4.0))
+        h.observe(3.0)
+        # q=0 reports the minimum sample's bucket, not bounds[0]: the
+        # leading empty buckets must be skipped.
+        assert h.quantile(0.0) == 4.0
+        assert h.quantile(1.0) == 4.0
+        h.observe(0.5)
+        assert h.quantile(0.0) == 1.0
+
+        overflow = Histogram("of", bounds=(1.0,))
+        overflow.observe(50.0)
+        assert overflow.quantile(0.0) == math.inf
+        assert overflow.quantile(1.0) == math.inf
+        for q in (-0.1, 1.1, math.nan):
+            with pytest.raises(ObservabilityError):
+                overflow.quantile(q)
+
     def test_histogram_merge_requires_same_bounds(self):
         a = Histogram("a", bounds=(1.0, 2.0))
         b = Histogram("b", bounds=(1.0, 3.0))

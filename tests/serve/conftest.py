@@ -1,0 +1,25 @@
+"""Shared fixtures for the streaming-service suite.
+
+Everything here rides on the session-scoped ``shot33`` fixture: one
+33^2 engine whose per-grid state (tables, statics, factorisation) every
+test shares read-only, exactly as the service itself shares it across
+streams.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch import BatchFitEngine, synthetic_slice_sequence
+
+
+@pytest.fixture(scope="session")
+def engine33(shot33):
+    return BatchFitEngine(
+        shot33.machine, shot33.diagnostics, shot33.grid, batch_size=2
+    )
+
+
+@pytest.fixture(scope="session")
+def slices3(shot33):
+    return synthetic_slice_sequence(shot33, 3, seed=7)

@@ -1,0 +1,24 @@
+"""Frame / SliceReport validation."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import Frame
+
+
+class TestFrameValidation:
+    def test_valid_frame(self, slices3):
+        f = Frame(stream_id="s", index=0, measurements=slices3[0])
+        assert f.deadline_s is None
+
+    def test_empty_stream_id(self, slices3):
+        with pytest.raises(ServeError, match="stream_id"):
+            Frame(stream_id="", index=0, measurements=slices3[0])
+
+    def test_negative_index(self, slices3):
+        with pytest.raises(ServeError, match="index"):
+            Frame(stream_id="s", index=-1, measurements=slices3[0])
+
+    def test_non_positive_deadline(self, slices3):
+        with pytest.raises(ServeError, match="deadline"):
+            Frame(stream_id="s", index=0, measurements=slices3[0], deadline_s=0.0)

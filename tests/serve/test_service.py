@@ -1,0 +1,178 @@
+"""ReconstructionService: concurrency, admission, backpressure, drain."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.batch import synthetic_slice_sequence
+from repro.errors import AdmissionError, ServeError
+from repro.serve import (
+    Frame,
+    ReconstructionService,
+    ServeConfig,
+    ServeMetrics,
+)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestLifecycle:
+    def test_requires_start(self, engine33, slices3):
+        svc = ReconstructionService(engine33)
+
+        async def use_cold():
+            await svc.open_stream("s")
+
+        with pytest.raises(ServeError, match="not running"):
+            _run(use_cold())
+
+    def test_double_start_rejected(self, engine33):
+        async def scenario():
+            async with ReconstructionService(engine33) as svc:
+                with pytest.raises(ServeError, match="already started"):
+                    await svc.start()
+
+        _run(scenario())
+
+    def test_stop_idempotent_and_drains(self, engine33, slices3):
+        async def scenario():
+            svc = ReconstructionService(
+                engine33, config=ServeConfig(deadline_s=None)
+            )
+            await svc.start()
+            await svc.open_stream("s")
+            for i, m in enumerate(slices3):
+                await svc.submit("s", Frame(stream_id="s", index=i, measurements=m))
+            summaries = await svc.stop()
+            assert await svc.stop() == {}
+            return summaries
+
+        summaries = _run(scenario())
+        assert len(summaries["s"].reports) == 3
+        assert all(r.converged for r in summaries["s"].reports)
+
+    def test_unknown_stream(self, engine33, slices3):
+        async def scenario():
+            async with ReconstructionService(engine33) as svc:
+                with pytest.raises(ServeError, match="unknown stream"):
+                    await svc.submit(
+                        "ghost",
+                        Frame(stream_id="ghost", index=0, measurements=slices3[0]),
+                    )
+
+        _run(scenario())
+
+
+class TestAdmission:
+    def test_capacity_enforced(self, engine33):
+        metrics = ServeMetrics()
+        config = ServeConfig(max_streams=2, deadline_s=None)
+
+        async def scenario():
+            async with ReconstructionService(
+                engine33, config=config, metrics=metrics
+            ) as svc:
+                await svc.open_stream("a")
+                await svc.open_stream("b")
+                with pytest.raises(AdmissionError, match="refused"):
+                    await svc.open_stream("c")
+                # Closing one frees the slot.
+                await svc.close_stream("a")
+                await svc.open_stream("c")
+
+        _run(scenario())
+        assert metrics.streams_rejected.value == 1.0
+        assert metrics.streams_active.value == 0.0
+
+    def test_duplicate_stream_id_rejected(self, engine33):
+        async def scenario():
+            async with ReconstructionService(engine33) as svc:
+                await svc.open_stream("a")
+                with pytest.raises(ServeError, match="already open"):
+                    await svc.open_stream("a")
+
+        _run(scenario())
+
+
+class TestBackpressure:
+    def test_full_queue_sheds_oldest(self, engine33, shot33):
+        slices = synthetic_slice_sequence(shot33, 4, seed=5)
+        metrics = ServeMetrics()
+        config = ServeConfig(queue_depth=2, deadline_s=None)
+
+        async def scenario():
+            async with ReconstructionService(
+                engine33, config=config, metrics=metrics
+            ) as svc:
+                await svc.open_stream("s")
+                # No await between submits: the worker cannot dequeue, so
+                # the 3rd and 4th submit must shed the two oldest frames.
+                accepted = [
+                    await svc.submit(
+                        "s", Frame(stream_id="s", index=i, measurements=m)
+                    )
+                    for i, m in enumerate(slices)
+                ]
+                summary = await svc.close_stream("s")
+                return accepted, summary
+
+        accepted, summary = _run(scenario())
+        assert accepted == [True, True, False, False]
+        assert summary.frames_shed == 2
+        assert [r.index for r in summary.reports] == [2, 3]
+        assert metrics.frames_shed.value == 2.0
+
+
+class TestConcurrentStreams:
+    def test_four_streams_bit_identical_to_serial(self, engine33, shot33):
+        """The acceptance criterion end-to-end: >= 4 concurrent streams,
+        every converged slice bit-identical to the chained serial solver,
+        warm starts saving iterations on every stream."""
+        n_streams, n_slices = 4, 3
+        frames = {
+            f"s{k}": synthetic_slice_sequence(shot33, n_slices, seed=11 + k)
+            for k in range(n_streams)
+        }
+        metrics = ServeMetrics()
+        config = ServeConfig(
+            deadline_s=None, executor_workers=4, queue_depth=n_slices
+        )
+
+        async def scenario():
+            async with ReconstructionService(
+                engine33, config=config, metrics=metrics
+            ) as svc:
+                for sid in frames:
+                    await svc.open_stream(sid)
+                for i in range(n_slices):
+                    for sid, slices in frames.items():
+                        await svc.submit(
+                            sid,
+                            Frame(stream_id=sid, index=i, measurements=slices[i]),
+                        )
+                return await svc.stop()
+
+        summaries = _run(scenario())
+        assert len(summaries) == n_streams
+        solver = engine33.solver
+        for sid, slices in frames.items():
+            reports = summaries[sid].reports
+            assert len(reports) == n_slices
+            assert summaries[sid].deadline_misses == 0
+            assert not reports[0].warm_start
+            assert all(r.warm_start for r in reports[1:])
+            prev_psi = prev_coeffs = None
+            for r, m in zip(reports, slices):
+                serial = solver.fit(
+                    m, psi_initial=prev_psi, coeffs_initial=prev_coeffs
+                )
+                np.testing.assert_array_equal(serial.psi, r.result.psi)
+                assert serial.chi2 == r.result.chi2
+                prev_psi = serial.psi
+                prev_coeffs = serial.history[-1].coefficients
+        s = metrics.summary()
+        assert s["slices"] == float(n_streams * n_slices)
+        assert s["warm_iteration_savings"] > 0

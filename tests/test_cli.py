@@ -85,3 +85,46 @@ def test_fit_nondefault_scenario(capsys):
     out = capsys.readouterr().out
     assert "scenario: spherical-torus" in out
     assert "converged: True" in out
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.streams == 4 and args.slices == 8
+        assert args.deadline_ms == 1000.0
+        assert not args.no_warm_start and not args.check
+
+    def test_invalid_streams_exit_2(self, capsys):
+        assert main(["serve", "--streams", "0"]) == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_invalid_deadline_exit_2(self, capsys):
+        assert main(["serve", "--deadline-ms", "-5"]) == 2
+        assert "deadline" in capsys.readouterr().err
+
+    def test_smoke_streams_check_and_metrics(self, tmp_path, capsys):
+        """The serve-smoke gate in miniature: 2 streams x 2 slices at
+        33^2, no deadline, serial comparison and the --check gate."""
+        out = tmp_path / "serve.json"
+        rc = main(
+            [
+                "serve",
+                "--grid", "33",
+                "--streams", "2",
+                "--slices", "2",
+                "--deadline-ms", "0",
+                "--compare-serial",
+                "--check",
+                "--metrics-out", str(out),
+            ]
+        )
+        text = capsys.readouterr().out
+        assert rc == 0
+        assert "0 mismatch(es)" in text
+        assert "serve check: ok" in text
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["summary"]["warm_iteration_savings"] > 0
+        assert payload["summary"]["deadline_misses"] == 0
+        assert payload["metrics"]["serve.slices"] == 4.0
